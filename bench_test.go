@@ -1,0 +1,274 @@
+// Benchmarks regenerating the paper's evaluation artifacts. Each table and
+// figure has a bench (plus tests in internal/evalharness and
+// internal/casestudies that assert the shapes):
+//
+//   - Table 1 columns O(×): BenchmarkOverhead_* (baseline vs. profiled wall
+//     clock per workload; the ratio is the overhead column)
+//   - Table 1 columns #N/#E/M/CR and part (c): BenchmarkTable1 (reported as
+//     custom metrics)
+//   - §4.2 case studies: BenchmarkCaseStudy_* (bloated vs. optimized; the
+//     ratio is the paper's improvement)
+//   - Figure 1: BenchmarkFigure1_TaintVsSlicing
+//   - §3.2/§4.1 ablations: BenchmarkThinVsTraditional,
+//     BenchmarkAbstractVsConcrete, BenchmarkPhaseRestricted
+//   - analysis costs: BenchmarkCostBenefitAnalysis, BenchmarkDeadness
+package lowutil
+
+import (
+	"testing"
+
+	"lowutil/internal/casestudies"
+	"lowutil/internal/costben"
+	"lowutil/internal/deadness"
+	"lowutil/internal/interp"
+	"lowutil/internal/ir"
+	"lowutil/internal/mjc"
+	"lowutil/internal/profiler"
+	"lowutil/internal/taint"
+	"lowutil/internal/testprogs"
+	"lowutil/internal/workloads"
+)
+
+const benchScale = 1
+
+func mustCompileWorkload(b *testing.B, name string) *ir.Program {
+	b.Helper()
+	w := workloads.ByName(name)
+	if w == nil {
+		b.Fatalf("unknown workload %s", name)
+	}
+	prog, err := w.Compile(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+func runBaseline(b *testing.B, prog *ir.Program) {
+	b.Helper()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m := interp.New(prog)
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	b.ReportMetric(float64(steps), "instrs/run")
+}
+
+func runProfiled(b *testing.B, prog *ir.Program, opts profiler.Options) *profiler.Profiler {
+	b.Helper()
+	var p *profiler.Profiler
+	for i := 0; i < b.N; i++ {
+		p = profiler.New(prog, opts)
+		m := interp.New(prog)
+		m.Tracer = p
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(p.G.NumNodes()), "nodes")
+	b.ReportMetric(float64(p.G.NumDepEdges()), "edges")
+	return p
+}
+
+// ---- Table 1: overhead (O column). The profiled/baseline ns-per-op ratio
+// for each workload is the paper's overhead factor. ----
+
+func BenchmarkOverhead(b *testing.B) {
+	for _, name := range []string{"chart", "bloat", "eclipse", "sunflow", "derby", "tradebeans"} {
+		prog := mustCompileWorkload(b, name)
+		b.Run(name+"/baseline", func(b *testing.B) { runBaseline(b, prog) })
+		b.Run(name+"/profiled_s16", func(b *testing.B) {
+			runProfiled(b, prog, profiler.Options{Slots: 16})
+		})
+	}
+}
+
+// ---- Table 1: graph characteristics and part (c), as custom metrics ----
+
+func BenchmarkTable1(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			prog, err := w.Compile(benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var p *profiler.Profiler
+			var m *interp.Machine
+			for i := 0; i < b.N; i++ {
+				p = profiler.New(prog, profiler.Options{Slots: 16, TrackCR: true})
+				m = interp.New(prog)
+				m.Tracer = p
+				if err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			dead := deadness.Analyze(p.G, m.Steps)
+			b.ReportMetric(float64(p.G.NumNodes()), "N")
+			b.ReportMetric(float64(p.G.NumDepEdges()), "E")
+			b.ReportMetric(float64(p.G.ApproxBytes())/1024, "M_KB")
+			b.ReportMetric(p.CR().AverageCR(), "CR")
+			b.ReportMetric(float64(m.Steps), "I")
+			b.ReportMetric(dead.IPD(), "IPD_pct")
+			b.ReportMetric(dead.IPP(), "IPP_pct")
+			b.ReportMetric(dead.NLD(), "NLD_pct")
+		})
+	}
+}
+
+// ---- §4.2 case studies: bloated vs. optimized ----
+
+func BenchmarkCaseStudy(b *testing.B) {
+	for _, cs := range casestudies.All() {
+		cs := cs
+		for _, variant := range []string{"bloated", "optimized"} {
+			variant := variant
+			b.Run(cs.Name+"/"+variant, func(b *testing.B) {
+				src := cs.Bloated(benchScale)
+				if variant == "optimized" {
+					src = cs.Optimized(benchScale)
+				}
+				prog, err := mjc.Compile(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var work int64
+				for i := 0; i < b.N; i++ {
+					m := interp.New(prog)
+					if err := m.Run(); err != nil {
+						b.Fatal(err)
+					}
+					work = m.Steps + m.NativeWork
+				}
+				b.ReportMetric(float64(work), "work/run")
+			})
+		}
+	}
+}
+
+// ---- Figure 1: taint-like tracking vs. dependence-graph cost ----
+
+func BenchmarkFigure1_TaintVsSlicing(b *testing.B) {
+	fig := testprogs.Figure1()
+	b.Run("taint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := taint.New(fig.Prog)
+			m := interp.New(fig.Prog)
+			m.Tracer = tr
+			if err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("abstract_slicing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := profiler.New(fig.Prog, profiler.Options{Slots: 8})
+			m := interp.New(fig.Prog)
+			m.Tracer = p
+			if err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- §3.2 ablation: thin vs. traditional slicing ----
+
+func BenchmarkThinVsTraditional(b *testing.B) {
+	prog := mustCompileWorkload(b, "xalan")
+	b.Run("thin", func(b *testing.B) {
+		p := runProfiled(b, prog, profiler.Options{Slots: 16})
+		_ = p
+	})
+	b.Run("traditional", func(b *testing.B) {
+		p := runProfiled(b, prog, profiler.Options{Slots: 16, Traditional: true})
+		_ = p
+	})
+}
+
+// ---- §2.1 ablation: bounded abstract domain vs. per-instance nodes ----
+
+func BenchmarkAbstractVsConcrete(b *testing.B) {
+	prog := mustCompileWorkload(b, "chart")
+	b.Run("abstract_s16", func(b *testing.B) {
+		runProfiled(b, prog, profiler.Options{Slots: 16})
+	})
+	b.Run("unabstracted", func(b *testing.B) {
+		runProfiled(b, prog, profiler.Options{Unabstracted: true})
+	})
+}
+
+// ---- §4.1: phase-restricted tracking ----
+
+func BenchmarkPhaseRestricted(b *testing.B) {
+	prog := mustCompileWorkload(b, "tradebeans")
+	b.Run("whole_program", func(b *testing.B) {
+		runProfiled(b, prog, profiler.Options{Slots: 16})
+	})
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := profiler.New(prog, profiler.Options{Slots: 16})
+			p.SetEnabled(false)
+			m := interp.New(prog)
+			m.Tracer = p
+			if err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- analysis costs over a finished graph ----
+
+func BenchmarkCostBenefitAnalysis(b *testing.B) {
+	prog := mustCompileWorkload(b, "eclipse")
+	p := profiler.New(prog, profiler.Options{Slots: 16})
+	m := interp.New(prog)
+	m.Tracer = p
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := costben.NewAnalysis(p.G)
+		ranked := a.RankBySite(costben.DefaultTreeHeight)
+		if len(ranked) == 0 {
+			b.Fatal("empty ranking")
+		}
+	}
+}
+
+func BenchmarkDeadness(b *testing.B) {
+	prog := mustCompileWorkload(b, "bloat")
+	p := profiler.New(prog, profiler.Options{Slots: 16})
+	m := interp.New(prog)
+	m.Tracer = p
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := deadness.Analyze(p.G, m.Steps)
+		if res.Nodes == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+}
+
+// ---- raw VM speed, for context ----
+
+func BenchmarkInterpreterRaw(b *testing.B) {
+	prog := mustCompileWorkload(b, "avrora")
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m := interp.New(prog)
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		steps += m.Steps
+	}
+	b.ReportMetric(float64(steps)/float64(b.Elapsed().Seconds())/1e6, "Minstr/s")
+}

@@ -1,0 +1,304 @@
+// Command lowutil compiles and analyzes MJ programs with the cost-benefit
+// profiler and the client analyses.
+//
+// Usage:
+//
+//	lowutil run        prog.mj          execute and print the program output
+//	lowutil disasm     prog.mj          print the three-address code
+//	lowutil profile    [flags] prog.mj  rank low-utility data structures
+//	lowutil nullcheck  prog.mj          diagnose a NullPointerException
+//	lowutil copies     [flags] prog.mj  extended copy profiling
+//	lowutil predicates [flags] prog.mj  always-true/false predicates
+//	lowutil overwrites [flags] prog.mj  heap locations rewritten before read
+//
+// Flags (profile): -s context slots (default 16), -top findings (default
+// 10), -n reference-tree height (default 4), -traditional for the
+// traditional-slicing ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lowutil"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "profile":
+		err = cmdProfile(args)
+	case "nullcheck":
+		err = cmdNullcheck(args)
+	case "copies":
+		err = cmdCopies(args)
+	case "predicates":
+		err = cmdPredicates(args)
+	case "overwrites":
+		err = cmdOverwrites(args)
+	case "caches":
+		err = cmdCaches(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lowutil: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lowutil: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lowutil <command> [flags] <file.mj>
+commands: run, disasm, profile, nullcheck, copies, predicates, overwrites, caches`)
+}
+
+func compileFile(path string) (*lowutil.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return lowutil.Compile(string(src))
+}
+
+func oneFile(fs *flag.FlagSet, args []string) (string, error) {
+	if err := fs.Parse(args); err != nil {
+		return "", err
+	}
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("expected exactly one .mj file, got %d args", fs.NArg())
+	}
+	return fs.Arg(0), nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := prog.Run()
+	if err != nil {
+		return err
+	}
+	for _, v := range res.Output {
+		fmt.Println(v)
+	}
+	fmt.Fprintf(os.Stderr, "steps=%d allocs=%d nativeWork=%d\n", res.Steps, res.Allocs, res.NativeWork)
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ContinueOnError)
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Disassemble())
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	slots := fs.Int("s", 16, "context slots per instruction (the paper's s)")
+	top := fs.Int("top", 10, "findings to print")
+	height := fs.Int("n", 4, "reference-tree height for n-RAC/n-RAB")
+	traditional := fs.Bool("traditional", false, "use traditional (non-thin) slicing")
+	control := fs.Bool("control", false, "include control-decision cost (§3.2 alternative)")
+	hops := fs.Int("hops", 1, "heap-to-heap hops for multi-hop cost/benefit")
+	save := fs.String("save", "", "write the profile (Gcost + metadata) to this file for offline analysis")
+	load := fs.String("load", "", "analyze a previously saved profile instead of re-running")
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	var profile *lowutil.Profile
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		profile, err = prog.LoadProfile(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		profile, err = prog.Profile(lowutil.ProfileOptions{
+			Slots: *slots, TreeHeight: *height, Traditional: *traditional, TrackControl: *control,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := profile.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "profile saved to %s\n", *save)
+	}
+	if *hops > 1 {
+		fmt.Printf("top low-utility structures (%d-hop):\n", *hops)
+		for i, f := range profile.TopStructuresMultiHop(*top, *hops) {
+			fmt.Printf("%3d. %s\n", i+1, f)
+		}
+		return nil
+	}
+	fmt.Print(profile.Report(*top))
+	return nil
+}
+
+func cmdCaches(args []string) error {
+	fs := flag.NewFlagSet("caches", flag.ContinueOnError)
+	slots := fs.Int("s", 16, "context slots")
+	minAcc := fs.Int64("min", 10, "minimum accesses")
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	profile, err := prog.Profile(lowutil.ProfileOptions{Slots: *slots})
+	if err != nil {
+		return err
+	}
+	reps := profile.CacheReports(*minAcc)
+	if len(reps) == 0 {
+		fmt.Println("no cache-like locations")
+		return nil
+	}
+	fmt.Println("cache effectiveness, least effective first:")
+	for _, r := range reps {
+		fmt.Printf("  %-16s stores=%-6d loads=%-6d cached=%-8.0f avoided=%-8.0f eff=%.2f\n",
+			r.Loc, r.Stores, r.Loads, r.CachedWork, r.AvoidedWork, r.Effectiveness)
+	}
+	return nil
+}
+
+func cmdNullcheck(args []string) error {
+	fs := flag.NewFlagSet("nullcheck", flag.ContinueOnError)
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	diag, err := prog.DiagnoseNull()
+	if err != nil {
+		return err
+	}
+	if diag == nil {
+		fmt.Println("no null dereference: program ran to completion")
+		return nil
+	}
+	fmt.Println(diag.Report)
+	return nil
+}
+
+func cmdCopies(args []string) error {
+	fs := flag.NewFlagSet("copies", flag.ContinueOnError)
+	top := fs.Int("top", 10, "chains to print")
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	chains, total, err := prog.CopyChains(*top)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("total dynamic copies: %d\n", total)
+	for _, c := range chains {
+		fmt.Printf("%s -> %s  ×%d (%d stack hops)\n", c.Src, c.Dst, c.Count, c.StackHops)
+	}
+	return nil
+}
+
+func cmdPredicates(args []string) error {
+	fs := flag.NewFlagSet("predicates", flag.ContinueOnError)
+	minExec := fs.Int64("min", 100, "minimum executions")
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	preds, err := prog.ConstantPredicates(*minExec)
+	if err != nil {
+		return err
+	}
+	if len(preds) == 0 {
+		fmt.Println("no constant predicates")
+	}
+	for _, p := range preds {
+		fmt.Println(p)
+	}
+	return nil
+}
+
+func cmdOverwrites(args []string) error {
+	fs := flag.NewFlagSet("overwrites", flag.ContinueOnError)
+	minWrites := fs.Int64("min", 10, "minimum writes")
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	reps, err := prog.SilentOverwrites(*minWrites)
+	if err != nil {
+		return err
+	}
+	if len(reps) == 0 {
+		fmt.Println("no silent overwrites")
+	}
+	for _, r := range reps {
+		fmt.Println(r)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const chartMJ = "testdata/chart.mj"
+const npeMJ = "testdata/npe.mj"
+
+func TestCmdRunAndDisasm(t *testing.T) {
+	if err := cmdRun([]string{chartMJ}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := cmdDisasm([]string{chartMJ}); err != nil {
+		t.Fatalf("disasm: %v", err)
+	}
+}
+
+func TestCmdProfileAndVariants(t *testing.T) {
+	if err := cmdProfile([]string{"-s", "8", "-top", "3", chartMJ}); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if err := cmdProfile([]string{"-hops", "2", chartMJ}); err != nil {
+		t.Fatalf("profile -hops: %v", err)
+	}
+	if err := cmdProfile([]string{"-control", chartMJ}); err != nil {
+		t.Fatalf("profile -control: %v", err)
+	}
+	if err := cmdCaches([]string{chartMJ}); err != nil {
+		t.Fatalf("caches: %v", err)
+	}
+}
+
+func TestCmdProfileSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "profile.json")
+	if err := cmdProfile([]string{"-save", saved, chartMJ}); err != nil {
+		t.Fatalf("profile -save: %v", err)
+	}
+	if _, err := os.Stat(saved); err != nil {
+		t.Fatalf("saved profile missing: %v", err)
+	}
+	if err := cmdProfile([]string{"-load", saved, chartMJ}); err != nil {
+		t.Fatalf("profile -load: %v", err)
+	}
+}
+
+func TestCmdClients(t *testing.T) {
+	if err := cmdNullcheck([]string{npeMJ}); err != nil {
+		t.Fatalf("nullcheck: %v", err)
+	}
+	if err := cmdCopies([]string{chartMJ}); err != nil {
+		t.Fatalf("copies: %v", err)
+	}
+	if err := cmdPredicates([]string{"-min", "10", chartMJ}); err != nil {
+		t.Fatalf("predicates: %v", err)
+	}
+	if err := cmdOverwrites([]string{"-min", "5", chartMJ}); err != nil {
+		t.Fatalf("overwrites: %v", err)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdRun([]string{"testdata/missing.mj"}); err == nil {
+		t.Error("want missing-file error")
+	}
+	if err := cmdRun([]string{}); err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Errorf("want arg-count error, got %v", err)
+	}
+}

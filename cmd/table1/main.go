@@ -1,0 +1,94 @@
+// Command table1 regenerates Table 1 of the paper over the 18 DaCapo-alike
+// workloads: graph characteristics and overheads for each context-slot
+// setting (parts a/b) and the dead-value measurements IPD/IPP/NLD (part c).
+// It can also run the phase-restricted-tracking experiment and the §3.2
+// ablations.
+//
+// Usage:
+//
+//	table1 [-scale N] [-slots 8,16] [-only chart,fop] [-phases] [-ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lowutil/internal/evalharness"
+)
+
+func main() {
+	scale := flag.Int("scale", 4, "workload scale factor")
+	slotsFlag := flag.String("slots", "8,16", "comma-separated context-slot settings")
+	only := flag.String("only", "", "comma-separated workload subset (default: all 18)")
+	phases := flag.Bool("phases", false, "also run the phase-restricted tracking experiment")
+	ablations := flag.Bool("ablations", false, "also run the thin-vs-traditional and abstract-vs-concrete ablations")
+	quiet := flag.Bool("q", false, "suppress per-workload progress")
+	flag.Parse()
+
+	var slots []int
+	for _, part := range strings.Split(*slotsFlag, ",") {
+		s, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || s <= 0 {
+			fmt.Fprintf(os.Stderr, "table1: bad -slots value %q\n", part)
+			os.Exit(2)
+		}
+		slots = append(slots, s)
+	}
+	opts := evalharness.Options{Scale: *scale, Slots: slots}
+	if *only != "" {
+		opts.Only = strings.Split(*only, ",")
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	rows, err := evalharness.Table1(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "table1: %v\n", err)
+		os.Exit(1)
+	}
+	evalharness.Format(rows, os.Stdout)
+
+	if *phases {
+		fmt.Println("\n---- phase-restricted tracking (steady-state only) ----")
+		fmt.Printf("%-11s %10s %10s %10s\n", "Program", "full(x)", "phase(x)", "reduction")
+		for _, name := range []string{"tradebeans", "tradesoap"} {
+			res, err := evalharness.PhaseExperiment(name, *scale, 0.1)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "table1: phases %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-11s %10.1f %10.1f %9.1fx\n",
+				res.Name, res.FullOverhead, res.PhaseOverhead, res.Reduction)
+		}
+	}
+
+	if *ablations {
+		fmt.Println("\n---- ablation: thin vs traditional slicing ----")
+		fmt.Printf("%-11s %12s %12s %14s %14s\n", "Program", "thin edges", "trad edges", "thin slices", "trad slices")
+		for _, name := range []string{"xalan", "eclipse", "bloat"} {
+			res, err := evalharness.ThinVsTraditional(name, *scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "table1: ablation %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-11s %12d %12d %14d %14d\n",
+				res.Name, res.ThinEdges, res.TraditionalEdges, res.ThinSliceNodes, res.TradSliceNodes)
+		}
+		fmt.Println("\n---- ablation: abstract vs unabstracted graphs ----")
+		fmt.Printf("%-11s %12s %12s %12s %12s %12s\n", "Program", "#I", "abs nodes", "conc nodes", "abs KB", "conc KB")
+		for _, name := range []string{"chart", "sunflow", "avrora"} {
+			res, err := evalharness.AbstractVsConcrete(name, *scale, 1<<22)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "table1: ablation %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-11s %12d %12d %12d %12d %12d\n",
+				res.Name, res.Steps, res.AbstractNodes, res.UnabstractedNodes,
+				res.AbstractBytes/1024, res.UnabstractedBytes/1024)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command workbench lists, runs, and profiles the built-in DaCapo-alike
+// workloads without writing any MJ by hand.
+//
+// Usage:
+//
+//	workbench -list
+//	workbench -run chart -scale 4
+//	workbench -profile eclipse -scale 2 -s 16 -top 10
+//	workbench -dump bloat > bloat.mj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lowutil"
+	"lowutil/internal/workloads"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list workloads and their bloat profiles")
+	run := flag.String("run", "", "execute the named workload")
+	profileName := flag.String("profile", "", "profile the named workload and print the report")
+	dump := flag.String("dump", "", "print the named workload's MJ source")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	slots := flag.Int("s", 16, "context slots")
+	top := flag.Int("top", 10, "findings to print")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, w := range workloads.All() {
+			fmt.Printf("%-11s %s\n", w.Name, w.Profile)
+		}
+	case *dump != "":
+		w := workloads.ByName(*dump)
+		if w == nil {
+			fatalf("unknown workload %q", *dump)
+		}
+		fmt.Print(w.Source(*scale))
+	case *run != "":
+		prog := compile(*run, *scale)
+		res, err := prog.Run()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("output: %v\n", res.Output)
+		fmt.Printf("steps=%d allocs=%d nativeWork=%d\n", res.Steps, res.Allocs, res.NativeWork)
+	case *profileName != "":
+		prog := compile(*profileName, *scale)
+		profile, err := prog.Profile(lowutil.ProfileOptions{Slots: *slots})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(profile.Report(*top))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func compile(name string, scale int) *lowutil.Program {
+	w := workloads.ByName(name)
+	if w == nil {
+		fatalf("unknown workload %q (try -list)", name)
+	}
+	prog, err := lowutil.Compile(w.Source(scale))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return prog
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "workbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+package main
+
+import "testing"
+
+func TestCompileAllWorkloadsViaWorkbench(t *testing.T) {
+	for _, name := range []string{"chart", "bloat", "tradesoap"} {
+		prog := compile(name, 1)
+		res, err := prog.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Output) == 0 {
+			t.Errorf("%s: no output", name)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Collections demonstrates the problematic-collection client (§3.2) on the
+// MJ container library: two hash maps are built at the same cost, but one is
+// queried constantly while the other is populated and never read. The
+// collection ranking — containers by cost-benefit rate — singles out the
+// write-only map even though the maps share their implementation.
+//
+// Run with: go run ./examples/collections
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowutil"
+	"lowutil/internal/mjlib"
+)
+
+const mainSrc = `
+class Main {
+  static void main() {
+    IntMap hot = new IntMap();      // queried on every request
+    hot.init();
+    IntMap audit = new IntMap();    // populated "just in case", never read
+    audit.init();
+    int served = 0;
+    for (int req = 0; req < 150; req = req + 1) {
+      int user = hash(req) % 40;
+      hot.put(user, req);
+      audit.put(req, hash(user + req) % 1000);
+      served = served + hot.get(user, 0);
+    }
+    print(served);
+  }
+}`
+
+func main() {
+	prog, err := lowutil.Compile(mjlib.Concat(mjlib.IntMap, mainSrc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := prog.Profile(lowutil.ProfileOptions{Slots: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("containers ranked by cost-benefit rate (worst first):")
+	for i, f := range profile.Collections(6) {
+		fmt.Printf("%3d. %s\n", i+1, f)
+	}
+	fmt.Println()
+	fmt.Println("the audit map ranks worst: four levels of structure (map →")
+	fmt.Println("buckets → entries → values) built on every request, never queried")
+}

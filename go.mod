@@ -1,0 +1,3 @@
+module lowutil
+
+go 1.22

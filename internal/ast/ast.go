@@ -1,0 +1,315 @@
+// Package ast defines the abstract syntax tree for MJ source programs,
+// produced by internal/parser and consumed by internal/sem and
+// internal/codegen.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"lowutil/internal/lexer"
+)
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Classes []*ClassDecl
+}
+
+// ClassDecl is a class declaration.
+type ClassDecl struct {
+	Name    string
+	Extends string // "" for none
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+	Pos     lexer.Pos
+}
+
+// FieldDecl is an instance field declaration.
+type FieldDecl struct {
+	Name string
+	Type *TypeRef
+	Pos  lexer.Pos
+}
+
+// MethodDecl is a method declaration. Void methods have Returns == nil.
+type MethodDecl struct {
+	Name    string
+	Static  bool
+	Params  []*Param
+	Returns *TypeRef // nil = void
+	Body    *Block
+	Pos     lexer.Pos
+}
+
+// Param is a formal parameter.
+type Param struct {
+	Name string
+	Type *TypeRef
+	Pos  lexer.Pos
+}
+
+// TypeRef is a syntactic type: a base (int, boolean, or a class name) plus
+// an array dimension count.
+type TypeRef struct {
+	Base string // "int", "boolean", or class name
+	Dims int
+	Pos  lexer.Pos
+}
+
+func (t *TypeRef) String() string {
+	return t.Base + strings.Repeat("[]", t.Dims)
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	StmtPos() lexer.Pos
+}
+
+// Block is { stmts... } with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Pos   lexer.Pos
+}
+
+// VarDecl declares a local variable, optionally initialized.
+type VarDecl struct {
+	Name string
+	Type *TypeRef
+	Init Expr // may be nil
+	Pos  lexer.Pos
+}
+
+// AssignStmt assigns to a local, a field, or an array element.
+type AssignStmt struct {
+	LHS Expr // Name, FieldAccess, or IndexExpr
+	RHS Expr
+	Pos lexer.Pos
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Pos  lexer.Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  lexer.Pos
+}
+
+// ForStmt is for(init; cond; post) body; any part may be nil.
+type ForStmt struct {
+	Init Stmt // VarDecl, AssignStmt or ExprStmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+	Pos  lexer.Pos
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Pos   lexer.Pos
+}
+
+// ExprStmt evaluates an expression for effect (a call).
+type ExprStmt struct {
+	X   Expr
+	Pos lexer.Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos lexer.Pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Pos lexer.Pos }
+
+func (*Block) stmtNode()        {}
+func (*VarDecl) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// StmtPos implements Stmt.
+func (s *Block) StmtPos() lexer.Pos        { return s.Pos }
+func (s *VarDecl) StmtPos() lexer.Pos      { return s.Pos }
+func (s *AssignStmt) StmtPos() lexer.Pos   { return s.Pos }
+func (s *IfStmt) StmtPos() lexer.Pos       { return s.Pos }
+func (s *WhileStmt) StmtPos() lexer.Pos    { return s.Pos }
+func (s *ForStmt) StmtPos() lexer.Pos      { return s.Pos }
+func (s *ReturnStmt) StmtPos() lexer.Pos   { return s.Pos }
+func (s *ExprStmt) StmtPos() lexer.Pos     { return s.Pos }
+func (s *BreakStmt) StmtPos() lexer.Pos    { return s.Pos }
+func (s *ContinueStmt) StmtPos() lexer.Pos { return s.Pos }
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	ExprPos() lexer.Pos
+}
+
+// IntLit is an integer (or char) literal.
+type IntLit struct {
+	Value int64
+	Pos   lexer.Pos
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Value bool
+	Pos   lexer.Pos
+}
+
+// NullLit is null.
+type NullLit struct{ Pos lexer.Pos }
+
+// ThisExpr is this.
+type ThisExpr struct{ Pos lexer.Pos }
+
+// Name references a local variable (after resolution).
+type Name struct {
+	Ident string
+	Pos   lexer.Pos
+}
+
+// BinaryExpr is a binary operation, including comparisons and the
+// short-circuit && / || forms.
+type BinaryExpr struct {
+	Op   lexer.Kind // Plus..Shr, Eq..Ge, AmpAmp, PipePipe
+	L, R Expr
+	Pos  lexer.Pos
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Op  lexer.Kind // Minus or Bang
+	X   Expr
+	Pos lexer.Pos
+}
+
+// FieldAccess is expr.field.
+type FieldAccess struct {
+	X     Expr
+	Field string
+	Pos   lexer.Pos
+}
+
+// IndexExpr is expr[expr].
+type IndexExpr struct {
+	X, Index Expr
+	Pos      lexer.Pos
+}
+
+// LenExpr is expr.length (array length).
+type LenExpr struct {
+	X   Expr
+	Pos lexer.Pos
+}
+
+// CallExpr is receiver.method(args) — or, with X == nil, either a call to a
+// method of the current class or a native function.
+type CallExpr struct {
+	X      Expr // nil = unqualified
+	Method string
+	Args   []Expr
+	Pos    lexer.Pos
+}
+
+// NewExpr is new Class().
+type NewExpr struct {
+	Class string
+	Pos   lexer.Pos
+}
+
+// NewArrayExpr is new base[len][]... with Dims total dimensions, of which
+// the first is sized by Len (only one sized dimension is supported).
+type NewArrayExpr struct {
+	Base string
+	Dims int
+	Len  Expr
+	Pos  lexer.Pos
+}
+
+// InstanceOfExpr is expr instanceof Class.
+type InstanceOfExpr struct {
+	X     Expr
+	Class string
+	Pos   lexer.Pos
+}
+
+func (*IntLit) exprNode()         {}
+func (*BoolLit) exprNode()        {}
+func (*NullLit) exprNode()        {}
+func (*ThisExpr) exprNode()       {}
+func (*Name) exprNode()           {}
+func (*BinaryExpr) exprNode()     {}
+func (*UnaryExpr) exprNode()      {}
+func (*FieldAccess) exprNode()    {}
+func (*IndexExpr) exprNode()      {}
+func (*LenExpr) exprNode()        {}
+func (*CallExpr) exprNode()       {}
+func (*NewExpr) exprNode()        {}
+func (*NewArrayExpr) exprNode()   {}
+func (*InstanceOfExpr) exprNode() {}
+
+// ExprPos implements Expr.
+func (e *IntLit) ExprPos() lexer.Pos         { return e.Pos }
+func (e *BoolLit) ExprPos() lexer.Pos        { return e.Pos }
+func (e *NullLit) ExprPos() lexer.Pos        { return e.Pos }
+func (e *ThisExpr) ExprPos() lexer.Pos       { return e.Pos }
+func (e *Name) ExprPos() lexer.Pos           { return e.Pos }
+func (e *BinaryExpr) ExprPos() lexer.Pos     { return e.Pos }
+func (e *UnaryExpr) ExprPos() lexer.Pos      { return e.Pos }
+func (e *FieldAccess) ExprPos() lexer.Pos    { return e.Pos }
+func (e *IndexExpr) ExprPos() lexer.Pos      { return e.Pos }
+func (e *LenExpr) ExprPos() lexer.Pos        { return e.Pos }
+func (e *CallExpr) ExprPos() lexer.Pos       { return e.Pos }
+func (e *NewExpr) ExprPos() lexer.Pos        { return e.Pos }
+func (e *NewArrayExpr) ExprPos() lexer.Pos   { return e.Pos }
+func (e *InstanceOfExpr) ExprPos() lexer.Pos { return e.Pos }
+
+// Dump renders the AST for debugging and golden tests.
+func Dump(p *Program) string {
+	var sb strings.Builder
+	for _, c := range p.Classes {
+		fmt.Fprintf(&sb, "class %s", c.Name)
+		if c.Extends != "" {
+			fmt.Fprintf(&sb, " extends %s", c.Extends)
+		}
+		sb.WriteString("\n")
+		for _, f := range c.Fields {
+			fmt.Fprintf(&sb, "  field %s %s\n", f.Type, f.Name)
+		}
+		for _, m := range c.Methods {
+			mods := ""
+			if m.Static {
+				mods = "static "
+			}
+			ret := "void"
+			if m.Returns != nil {
+				ret = m.Returns.String()
+			}
+			var ps []string
+			for _, p := range m.Params {
+				ps = append(ps, p.Type.String()+" "+p.Name)
+			}
+			fmt.Fprintf(&sb, "  %smethod %s %s(%s) [%d stmts]\n", mods, ret, m.Name,
+				strings.Join(ps, ", "), len(m.Body.Stmts))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,227 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"lowutil/internal/lexer"
+)
+
+// PrintSource renders the program back to compilable MJ source. Expressions
+// are fully parenthesized, so the output is not byte-identical to the input,
+// but re-parsing it yields a structurally identical AST (printing is a
+// fixpoint after one round trip) — the property the parser tests rely on.
+func PrintSource(p *Program) string {
+	var pr printer
+	for i, c := range p.Classes {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.class(c)
+	}
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteString("\n")
+}
+
+func (p *printer) nl() { p.sb.WriteString("\n") }
+
+func (p *printer) class(c *ClassDecl) {
+	head := "class " + c.Name
+	if c.Extends != "" {
+		head += " extends " + c.Extends
+	}
+	p.line("%s {", head)
+	p.indent++
+	for _, f := range c.Fields {
+		p.line("%s %s;", f.Type, f.Name)
+	}
+	for _, m := range c.Methods {
+		p.method(m)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) method(m *MethodDecl) {
+	mods := ""
+	if m.Static {
+		mods = "static "
+	}
+	ret := "void"
+	if m.Returns != nil {
+		ret = m.Returns.String()
+	}
+	var params []string
+	for _, prm := range m.Params {
+		params = append(params, prm.Type.String()+" "+prm.Name)
+	}
+	p.line("%s%s %s(%s) {", mods, ret, m.Name, strings.Join(params, ", "))
+	p.indent++
+	for _, s := range m.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, inner := range st.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *VarDecl:
+		if st.Init != nil {
+			p.line("%s %s = %s;", st.Type, st.Name, expr(st.Init))
+		} else {
+			p.line("%s %s;", st.Type, st.Name)
+		}
+	case *AssignStmt:
+		p.line("%s = %s;", expr(st.LHS), expr(st.RHS))
+	case *IfStmt:
+		p.line("if (%s) {", expr(st.Cond))
+		p.indent++
+		p.stmtFlat(st.Then)
+		p.indent--
+		if st.Else != nil {
+			p.line("} else {")
+			p.indent++
+			p.stmtFlat(st.Else)
+			p.indent--
+		}
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (%s) {", expr(st.Cond))
+		p.indent++
+		p.stmtFlat(st.Body)
+		p.indent--
+		p.line("}")
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if st.Init != nil {
+			init = strings.TrimSuffix(p.inlineStmt(st.Init), ";")
+		}
+		if st.Cond != nil {
+			cond = expr(st.Cond)
+		}
+		if st.Post != nil {
+			post = strings.TrimSuffix(p.inlineStmt(st.Post), ";")
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		p.stmtFlat(st.Body)
+		p.indent--
+		p.line("}")
+	case *ReturnStmt:
+		if st.Value != nil {
+			p.line("return %s;", expr(st.Value))
+		} else {
+			p.line("return;")
+		}
+	case *ExprStmt:
+		p.line("%s;", expr(st.X))
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	}
+}
+
+// stmtFlat prints a statement, unwrapping a block so that `if (c) { ... }`
+// does not nest an extra brace level when the body was already a block.
+func (p *printer) stmtFlat(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		for _, inner := range b.Stmts {
+			p.stmt(inner)
+		}
+		return
+	}
+	p.stmt(s)
+}
+
+// inlineStmt renders a simple statement without indentation or newline,
+// for for-headers.
+func (p *printer) inlineStmt(s Stmt) string {
+	switch st := s.(type) {
+	case *VarDecl:
+		if st.Init != nil {
+			return fmt.Sprintf("%s %s = %s;", st.Type, st.Name, expr(st.Init))
+		}
+		return fmt.Sprintf("%s %s;", st.Type, st.Name)
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s;", expr(st.LHS), expr(st.RHS))
+	case *ExprStmt:
+		return expr(st.X) + ";"
+	}
+	return ";"
+}
+
+var opText = map[lexer.Kind]string{
+	lexer.Plus: "+", lexer.Minus: "-", lexer.Star: "*", lexer.Slash: "/",
+	lexer.Percent: "%", lexer.Amp: "&", lexer.Pipe: "|", lexer.Caret: "^",
+	lexer.AmpAmp: "&&", lexer.PipePipe: "||", lexer.Shl: "<<", lexer.Shr: ">>",
+	lexer.Eq: "==", lexer.Ne: "!=", lexer.Lt: "<", lexer.Le: "<=",
+	lexer.Gt: ">", lexer.Ge: ">=", lexer.Bang: "!",
+}
+
+func expr(e Expr) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		if ex.Value < 0 {
+			return fmt.Sprintf("(0 - %d)", -ex.Value)
+		}
+		return fmt.Sprintf("%d", ex.Value)
+	case *BoolLit:
+		if ex.Value {
+			return "true"
+		}
+		return "false"
+	case *NullLit:
+		return "null"
+	case *ThisExpr:
+		return "this"
+	case *Name:
+		return ex.Ident
+	case *BinaryExpr:
+		return "(" + expr(ex.L) + " " + opText[ex.Op] + " " + expr(ex.R) + ")"
+	case *UnaryExpr:
+		return "(" + opText[ex.Op] + expr(ex.X) + ")"
+	case *FieldAccess:
+		return expr(ex.X) + "." + ex.Field
+	case *IndexExpr:
+		return expr(ex.X) + "[" + expr(ex.Index) + "]"
+	case *LenExpr:
+		return expr(ex.X) + ".length"
+	case *CallExpr:
+		var args []string
+		for _, a := range ex.Args {
+			args = append(args, expr(a))
+		}
+		recv := ""
+		if ex.X != nil {
+			recv = expr(ex.X) + "."
+		}
+		return recv + ex.Method + "(" + strings.Join(args, ", ") + ")"
+	case *NewExpr:
+		return "new " + ex.Class + "()"
+	case *NewArrayExpr:
+		return "new " + ex.Base + "[" + expr(ex.Len) + "]" + strings.Repeat("[]", ex.Dims-1)
+	case *InstanceOfExpr:
+		return "(" + expr(ex.X) + " instanceof " + ex.Class + ")"
+	}
+	return "?"
+}

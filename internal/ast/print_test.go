@@ -1,0 +1,98 @@
+package ast_test
+
+import (
+	"testing"
+
+	"lowutil/internal/ast"
+	"lowutil/internal/interp"
+	"lowutil/internal/mjc"
+	"lowutil/internal/parser"
+	"lowutil/internal/workloads"
+)
+
+// TestRoundTripAllWorkloads is the parser/printer round-trip property over
+// every workload source: parse → print → parse → print reaches a fixpoint,
+// and the reprinted program compiles and produces identical output to the
+// original.
+func TestRoundTripAllWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			src := w.Source(1)
+			p1, err := parser.Parse(src)
+			if err != nil {
+				t.Fatalf("parse original: %v", err)
+			}
+			printed1 := ast.PrintSource(p1)
+			p2, err := parser.Parse(printed1)
+			if err != nil {
+				t.Fatalf("parse printed: %v\n%s", err, printed1)
+			}
+			printed2 := ast.PrintSource(p2)
+			if printed1 != printed2 {
+				t.Errorf("printing is not a fixpoint after one round trip")
+			}
+
+			// Semantic preservation: both compile and behave identically.
+			orig, err := mjc.Compile(src)
+			if err != nil {
+				t.Fatalf("compile original: %v", err)
+			}
+			rt, err := mjc.Compile(printed1)
+			if err != nil {
+				t.Fatalf("compile round-tripped: %v", err)
+			}
+			m1 := interp.New(orig)
+			m2 := interp.New(rt)
+			if err := m1.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := m2.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(m1.Output) != len(m2.Output) {
+				t.Fatalf("output lengths differ: %d vs %d", len(m1.Output), len(m2.Output))
+			}
+			for i := range m1.Output {
+				if m1.Output[i] != m2.Output[i] {
+					t.Fatalf("output[%d] differs: %d vs %d", i, m1.Output[i], m2.Output[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPrintCoversSyntax(t *testing.T) {
+	src := `
+class A extends B {
+  int[] xs;
+  boolean flag;
+  static int f(int a, boolean b) {
+    int x = -a;
+    boolean c = !b && (a < 3 || a >= 7);
+    if (c) { x = x + 1; } else { x = x - 1; }
+    while (x > 0) { x = x / 2; if (x == 5) { break; } continue; }
+    for (int i = 0; i < 4; i = i + 1) { x = x ^ i; }
+    int[] ys = new int[3];
+    ys[0] = ys.length;
+    A obj = new A();
+    obj.xs = ys;
+    boolean inst = obj instanceof A;
+    return x % 3;
+  }
+}
+class B { }
+class Main { static void main() { print(1); } }`
+	p1, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.PrintSource(p1)
+	p2, err := parser.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if ast.PrintSource(p2) != printed {
+		t.Error("not a fixpoint")
+	}
+}

@@ -1,0 +1,179 @@
+// Package casestudies reproduces the six case studies of §4.2 of the paper:
+// sunflow, eclipse, bloat, derby, tomcat, and tradebeans. Each study is a
+// pair of MJ programs — a bloated variant exhibiting exactly the
+// high-cost-low-benefit pattern the paper describes, and an optimized
+// variant applying the paper's fix — plus the metadata needed to check that
+// the cost-benefit tool actually flags the planted structure.
+//
+// Both variants compute identical observable output (the harness verifies
+// this), so the work reduction is a pure measure of removed bloat. The
+// paper reports wall-clock improvements of 2%–37%; we report reductions in
+// executed instructions plus synthetic native work, which is the analogous
+// quantity on this substrate.
+package casestudies
+
+import (
+	"fmt"
+	"sort"
+
+	"lowutil/internal/costben"
+	"lowutil/internal/interp"
+	"lowutil/internal/ir"
+	"lowutil/internal/mjc"
+	"lowutil/internal/profiler"
+)
+
+// CaseStudy is one paired experiment.
+type CaseStudy struct {
+	Name string
+	// Pattern describes the planted bloat; Fix describes the optimization.
+	Pattern string
+	Fix     string
+	// PaperResult quotes the paper's measured improvement.
+	PaperResult string
+
+	// Bloated and Optimized render the two variants at a scale factor.
+	Bloated   func(scale int) string
+	Optimized func(scale int) string
+
+	// SuspectClasses / SuspectMethods identify the planted allocation
+	// sites: a site matches if its class name is listed, or if it occurs
+	// inside a listed method (qualified name), covering array sites.
+	SuspectClasses []string
+	SuspectMethods []string
+}
+
+// Result is the outcome of running one case study.
+type Result struct {
+	Name string
+
+	// Work is executed instructions + synthetic native work.
+	BloatedWork, OptimizedWork     int64
+	BloatedAllocs, OptimizedAllocs int64
+
+	// WorkReduction and AllocReduction are fractions in [0, 1].
+	WorkReduction, AllocReduction float64
+
+	// SuspectRank is the 1-based rank of the best-matching planted site in
+	// the cost-benefit report for the bloated variant (0 if not found).
+	SuspectRank int
+	// TopReport is the rendered top of the ranking, for human inspection.
+	TopReport string
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%-11s work %9d → %9d (-%5.1f%%)  allocs %7d → %7d (-%5.1f%%)  suspect rank %d",
+		r.Name, r.BloatedWork, r.OptimizedWork, 100*r.WorkReduction,
+		r.BloatedAllocs, r.OptimizedAllocs, 100*r.AllocReduction, r.SuspectRank)
+}
+
+// Run executes both variants, verifies output equivalence, profiles the
+// bloated variant, and assembles the Result.
+func (cs *CaseStudy) Run(scale int, slots int) (*Result, error) {
+	bloated, err := mjc.Compile(cs.Bloated(scale))
+	if err != nil {
+		return nil, fmt.Errorf("%s bloated: %w", cs.Name, err)
+	}
+	optimized, err := mjc.Compile(cs.Optimized(scale))
+	if err != nil {
+		return nil, fmt.Errorf("%s optimized: %w", cs.Name, err)
+	}
+
+	mb := interp.New(bloated)
+	if err := mb.Run(); err != nil {
+		return nil, fmt.Errorf("%s bloated run: %w", cs.Name, err)
+	}
+	mo := interp.New(optimized)
+	if err := mo.Run(); err != nil {
+		return nil, fmt.Errorf("%s optimized run: %w", cs.Name, err)
+	}
+	if len(mb.Output) != len(mo.Output) {
+		return nil, fmt.Errorf("%s: output lengths differ (%d vs %d) — the optimization changed behaviour",
+			cs.Name, len(mb.Output), len(mo.Output))
+	}
+	for i := range mb.Output {
+		if mb.Output[i] != mo.Output[i] {
+			return nil, fmt.Errorf("%s: output[%d] differs (%d vs %d) — the optimization changed behaviour",
+				cs.Name, i, mb.Output[i], mo.Output[i])
+		}
+	}
+
+	res := &Result{
+		Name:            cs.Name,
+		BloatedWork:     mb.Steps + mb.NativeWork,
+		OptimizedWork:   mo.Steps + mo.NativeWork,
+		BloatedAllocs:   mb.Allocs,
+		OptimizedAllocs: mo.Allocs,
+	}
+	if res.BloatedWork > 0 {
+		res.WorkReduction = float64(res.BloatedWork-res.OptimizedWork) / float64(res.BloatedWork)
+	}
+	if res.BloatedAllocs > 0 {
+		res.AllocReduction = float64(res.BloatedAllocs-res.OptimizedAllocs) / float64(res.BloatedAllocs)
+	}
+
+	// Detection: profile the bloated variant and locate the planted sites.
+	p := profiler.New(bloated, profiler.Options{Slots: slots})
+	mp := interp.New(bloated)
+	mp.Tracer = p
+	if err := mp.Run(); err != nil {
+		return nil, fmt.Errorf("%s profiled run: %w", cs.Name, err)
+	}
+	a := costben.NewAnalysis(p.G)
+	ranking := a.RankBySite(costben.DefaultTreeHeight)
+	res.TopReport = costben.FormatTop(ranking, 8)
+	for i, r := range ranking {
+		if cs.matches(r.Site) {
+			res.SuspectRank = i + 1
+			break
+		}
+	}
+	return res, nil
+}
+
+func (cs *CaseStudy) matches(site *ir.Instr) bool {
+	if site.Op == ir.OpNew {
+		for _, name := range cs.SuspectClasses {
+			if site.Class.Name == name {
+				return true
+			}
+		}
+	}
+	qn := site.Method.QualifiedName()
+	for _, m := range cs.SuspectMethods {
+		if qn == m {
+			return true
+		}
+	}
+	return false
+}
+
+var studies []*CaseStudy
+
+func registerStudy(cs *CaseStudy) { studies = append(studies, cs) }
+
+// All returns the six case studies in the paper's order.
+func All() []*CaseStudy {
+	out := make([]*CaseStudy, len(studies))
+	copy(out, studies)
+	sort.Slice(out, func(i, j int) bool { return studyOrder(out[i].Name) < studyOrder(out[j].Name) })
+	return out
+}
+
+func studyOrder(name string) int {
+	order := map[string]int{"sunflow": 0, "eclipse": 1, "bloat": 2, "derby": 3, "tomcat": 4, "tradebeans": 5}
+	if i, ok := order[name]; ok {
+		return i
+	}
+	return 99
+}
+
+// ByName returns a case study or nil.
+func ByName(name string) *CaseStudy {
+	for _, cs := range studies {
+		if cs.Name == name {
+			return cs
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package casestudies
+
+import "testing"
+
+func TestSixStudiesRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("studies = %d, want 6", len(all))
+	}
+	want := []string{"sunflow", "eclipse", "bloat", "derby", "tomcat", "tradebeans"}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("study %d = %s, want %s", i, all[i].Name, name)
+		}
+		if all[i].Pattern == "" || all[i].Fix == "" || all[i].PaperResult == "" {
+			t.Errorf("%s missing documentation fields", name)
+		}
+	}
+	if ByName("sunflow") == nil || ByName("nope") != nil {
+		t.Error("ByName broken")
+	}
+}
+
+// TestAllStudiesImproveAndDetect is the core §4.2 reproduction: for every
+// case study, (a) both variants produce identical output, (b) the optimized
+// variant does strictly less work and allocates no more, and (c) the
+// cost-benefit tool ranks a planted site near the top of the report for the
+// bloated variant.
+func TestAllStudiesImproveAndDetect(t *testing.T) {
+	for _, cs := range All() {
+		cs := cs
+		t.Run(cs.Name, func(t *testing.T) {
+			res, err := cs.Run(1, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.WorkReduction <= 0 {
+				t.Errorf("work reduction = %.1f%%, want > 0\n%s", 100*res.WorkReduction, res)
+			}
+			if res.OptimizedAllocs > res.BloatedAllocs {
+				t.Errorf("optimization increased allocations: %d → %d",
+					res.BloatedAllocs, res.OptimizedAllocs)
+			}
+			if res.SuspectRank == 0 {
+				t.Errorf("planted site not found in report:\n%s", res.TopReport)
+			} else if res.SuspectRank > 5 {
+				t.Errorf("planted site ranked %d, want top 5:\n%s", res.SuspectRank, res.TopReport)
+			}
+		})
+	}
+}
+
+// TestShapeMatchesPaper: bloat shows the largest improvement of the six
+// (37%% in the paper), and the well-tuned server workloads (tomcat,
+// tradebeans, derby) show smaller ones — the qualitative ordering the paper
+// reports.
+func TestShapeMatchesPaper(t *testing.T) {
+	red := map[string]float64{}
+	alloc := map[string]float64{}
+	for _, cs := range All() {
+		res, err := cs.Run(1, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red[cs.Name] = res.WorkReduction
+		alloc[cs.Name] = res.AllocReduction
+	}
+	for _, tuned := range []string{"derby", "tomcat"} {
+		if red["bloat"] <= red[tuned] {
+			t.Errorf("bloat reduction (%.1f%%) should exceed %s (%.1f%%)",
+				100*red["bloat"], tuned, 100*red[tuned])
+		}
+	}
+	// bloat also has the paper's largest object reduction (68%).
+	if alloc["bloat"] < 0.3 {
+		t.Errorf("bloat alloc reduction = %.1f%%, want >= 30%%", 100*alloc["bloat"])
+	}
+}
+
+func TestScaleParameterization(t *testing.T) {
+	cs := ByName("sunflow")
+	r1, err := cs.Run(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := cs.Run(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.BloatedWork < 2*r1.BloatedWork {
+		t.Errorf("scale 3 work (%d) should be ~3x scale 1 (%d)", r3.BloatedWork, r1.BloatedWork)
+	}
+}

@@ -1,0 +1,539 @@
+package casestudies
+
+import "fmt"
+
+func init() {
+	registerStudy(&CaseStudy{
+		Name: "sunflow",
+		Pattern: "each Matrix/Vector method starts with cloning a new object and assigns " +
+			"the result of the computation to the new object; float values converted to " +
+			"ints and back in the hottest methods",
+		Fix: "eliminate unnecessary clones (in-place vector arithmetic on reused objects) " +
+			"and bookkeep the packed values directly to avoid back-and-forth conversions",
+		PaperResult:    "9%–15% running time reduction",
+		SuspectClasses: []string{"Vec"},
+		SuspectMethods: []string{"Vec.cloneV"},
+		Bloated: func(scale int) string {
+			return fmt.Sprintf(sunflowCommon, sunflowBloatVec, fmt.Sprintf(sunflowBloatMain, 60*scale))
+		},
+		Optimized: func(scale int) string {
+			return fmt.Sprintf(sunflowCommon, sunflowOptVec, fmt.Sprintf(sunflowOptMain, 60*scale))
+		},
+	})
+
+	registerStudy(&CaseStudy{
+		Name: "eclipse",
+		Pattern: "visitor objects and stack-based general iterators allocated per traversal " +
+			"of a simple tree; Hashtable rehash recomputes the hash codes of all existing entries",
+		Fix: "replace the visitor implementation with a worklist implementation and cache " +
+			"entry hash codes in an int array used during rehash",
+		PaperResult:    "14.5% running time reduction (151s → 129s), 2% fewer objects",
+		SuspectClasses: []string{"IterFrame", "Visitor"},
+		SuspectMethods: []string{"TreeIterator.next"},
+		Bloated:        func(scale int) string { return fmt.Sprintf(eclipseBloated, 8*scale) },
+		Optimized:      func(scale int) string { return fmt.Sprintf(eclipseOptimized, 8*scale) },
+	})
+
+	registerStudy(&CaseStudy{
+		Name: "bloat",
+		Pattern: "String/StringBuffer objects created in toString methods and consumed only " +
+			"by debug checks that never fire in production; NodeComparator objects allocated " +
+			"recursively per node pair",
+		Fix: "construct the debug strings only under the debug flag and reuse a single " +
+			"comparator via recursion on this",
+		PaperResult:    "37% running time reduction, 68% fewer objects",
+		SuspectClasses: []string{"CharBuf", "NodeComparator"},
+		SuspectMethods: []string{"Node.describe"},
+		Bloated:        func(scale int) string { return fmt.Sprintf(bloatBloated, 10*scale) },
+		Optimized:      func(scale int) string { return fmt.Sprintf(bloatOptimized, 10*scale) },
+	})
+}
+
+// sunflowCommon is the shared scaffolding; the two %s slots take the Vec
+// class and the Main class, the %d takes the ray count.
+const sunflowCommon = `
+%s
+class Shader {
+  int[] slots;
+  void init(int n) { this.slots = new int[n]; }
+  void storePacked(int i, int v) { this.slots[i] = floatToIntBits(v); }
+  int loadPacked(int i) { return intBitsToFloat(this.slots[i]); }
+  void storeDirect(int i, int v) { this.slots[i] = v; }
+  int loadDirect(int i) { return this.slots[i]; }
+}
+%s
+`
+
+const sunflowBloatVec = `
+class Vec {
+  int x; int y; int z;
+  Vec cloneV() {
+    Vec r = new Vec();
+    r.x = this.x; r.y = this.y; r.z = this.z;
+    return r;
+  }
+  Vec add(Vec o) {
+    Vec r = this.cloneV();
+    r.x = r.x + o.x; r.y = r.y + o.y; r.z = r.z + o.z;
+    return r;
+  }
+  Vec mul(int f) {
+    Vec r = this.cloneV();
+    r.x = r.x * f; r.y = r.y * f; r.z = r.z * f;
+    return r;
+  }
+  int dot(Vec o) { return this.x * o.x + this.y * o.y + this.z * o.z; }
+}`
+
+const sunflowBloatMain = `
+class Main {
+  static void main() {
+    int rays = %d;
+    Shader sh = new Shader();
+    sh.init(16);
+    int lum = 0;
+    for (int r = 0; r < rays; r = r + 1) {
+      Vec dir = new Vec();
+      dir.x = hash(r) %% 32; dir.y = hash(r + 1) %% 32; dir.z = hash(r + 2) %% 32;
+      Vec n = new Vec();
+      n.x = 1; n.y = 2; n.z = 3;
+      Vec h = dir.add(n).mul(2).add(dir).mul(3);
+      int shade = h.dot(n);
+      sh.storePacked(r %% 16, shade);
+      lum = lum + sh.loadPacked(r %% 16);
+    }
+    print(lum);
+  }
+}`
+
+const sunflowOptVec = `
+class Vec {
+  int x; int y; int z;
+  void set(Vec o) { this.x = o.x; this.y = o.y; this.z = o.z; }
+  void addIn(Vec o) { this.x = this.x + o.x; this.y = this.y + o.y; this.z = this.z + o.z; }
+  void mulIn(int f) { this.x = this.x * f; this.y = this.y * f; this.z = this.z * f; }
+  int dot(Vec o) { return this.x * o.x + this.y * o.y + this.z * o.z; }
+}`
+
+const sunflowOptMain = `
+class Main {
+  static void main() {
+    int rays = %d;
+    Shader sh = new Shader();
+    sh.init(16);
+    Vec dir = new Vec();
+    Vec n = new Vec();
+    Vec acc = new Vec();
+    int lum = 0;
+    for (int r = 0; r < rays; r = r + 1) {
+      dir.x = hash(r) %% 32; dir.y = hash(r + 1) %% 32; dir.z = hash(r + 2) %% 32;
+      n.x = 1; n.y = 2; n.z = 3;
+      acc.set(dir);
+      acc.addIn(n);
+      acc.mulIn(2);
+      acc.addIn(dir);
+      acc.mulIn(3);
+      int shade = acc.dot(n);
+      sh.storeDirect(r %% 16, shade);
+      lum = lum + sh.loadDirect(r %% 16);
+    }
+    print(lum);
+  }
+}`
+
+const eclipseBloated = `
+class Resource {
+  int id;
+  Resource[] children;
+  int nChildren;
+}
+class Visitor {
+  int visited;
+  boolean visit(Resource r) { this.visited = this.visited + 1; return true; }
+}
+class IterFrame { Resource res; int idx; IterFrame below; }
+class TreeIterator {
+  IterFrame top;
+  void init(Resource root) {
+    IterFrame f = new IterFrame();
+    f.res = root;
+    f.idx = 0;
+    this.top = f;
+  }
+  Resource next() {
+    while (this.top != null) {
+      IterFrame f = this.top;
+      if (f.idx == 0) {
+        f.idx = 1;
+        int i = f.res.nChildren - 1;
+        while (i >= 0) {
+          IterFrame nf = new IterFrame();
+          nf.res = f.res.children[i];
+          nf.idx = 0;
+          nf.below = this.top;
+          this.top = nf;
+          i = i - 1;
+        }
+        return f.res;
+      }
+      this.top = f.below;
+    }
+    return null;
+  }
+}
+class Hashtable {
+  int[][] keys;
+  int[] values;
+  int size;
+  void init(int cap) {
+    this.keys = new int[cap][];
+    this.values = new int[cap];
+    this.size = 0;
+  }
+  int hashKey(int[] key) {
+    int h = 17;
+    for (int i = 0; i < key.length; i = i + 1) { h = h * 31 + key[i]; }
+    if (h < 0) { h = -h; }
+    return h;
+  }
+  void put(int[] key, int value) {
+    if (this.size * 2 >= this.keys.length) { this.rehash(); }
+    int h = this.hashKey(key) %% this.keys.length;
+    while (this.keys[h] != null) { h = (h + 1) %% this.keys.length; }
+    this.keys[h] = key;
+    this.values[h] = value;
+    this.size = this.size + 1;
+  }
+  void rehash() {
+    int[][] oldKeys = this.keys;
+    int[] oldVals = this.values;
+    this.keys = new int[oldKeys.length * 2][];
+    this.values = new int[oldKeys.length * 2];
+    this.size = 0;
+    for (int i = 0; i < oldKeys.length; i = i + 1) {
+      if (oldKeys[i] != null) { this.put(oldKeys[i], oldVals[i]); }
+    }
+  }
+}
+class WorkspaceGen {
+  Resource gen(int depth, int seed) {
+    Resource r = new Resource();
+    r.id = seed;
+    int fan = 0;
+    if (depth > 0) { fan = 3; }
+    r.children = new Resource[fan];
+    r.nChildren = fan;
+    for (int i = 0; i < fan; i = i + 1) {
+      r.children[i] = this.gen(depth - 1, seed * 4 + i + 1);
+    }
+    return r;
+  }
+}
+class Main {
+  static void main() {
+    int traversals = %d;
+    WorkspaceGen g = new WorkspaceGen();
+    Resource root = g.gen(4, 1);
+    int visits = 0;
+    for (int t = 0; t < traversals; t = t + 1) {
+      Visitor v = new Visitor();
+      TreeIterator it = new TreeIterator();
+      it.init(root);
+      Resource r = it.next();
+      while (r != null) {
+        boolean more = v.visit(r);
+        if (!more) { break; }
+        r = it.next();
+      }
+      visits = visits + v.visited;
+    }
+    Hashtable ht = new Hashtable();
+    ht.init(8);
+    for (int k = 0; k < traversals * 4; k = k + 1) {
+      int[] key = new int[6];
+      for (int i = 0; i < 6; i = i + 1) { key[i] = hash(k * 6 + i); }
+      ht.put(key, k);
+    }
+    print(visits);
+    print(ht.size);
+  }
+}`
+
+const eclipseOptimized = `
+class Resource {
+  int id;
+  Resource[] children;
+  int nChildren;
+}
+class Worklist {
+  Resource[] stack;
+  int sp;
+  int count;
+  void init(int cap) { this.stack = new Resource[cap]; }
+  int traverse(Resource root) {
+    this.sp = 0;
+    this.count = 0;
+    this.stack[this.sp] = root;
+    this.sp = this.sp + 1;
+    while (this.sp > 0) {
+      this.sp = this.sp - 1;
+      Resource r = this.stack[this.sp];
+      this.count = this.count + 1;
+      for (int i = 0; i < r.nChildren; i = i + 1) {
+        this.stack[this.sp] = r.children[i];
+        this.sp = this.sp + 1;
+      }
+    }
+    return this.count;
+  }
+}
+class Hashtable {
+  int[][] keys;
+  int[] values;
+  int[] hashes;     // cached hash codes, reused by rehash
+  int size;
+  void init(int cap) {
+    this.keys = new int[cap][];
+    this.values = new int[cap];
+    this.hashes = new int[cap];
+    this.size = 0;
+  }
+  int hashKey(int[] key) {
+    int h = 17;
+    for (int i = 0; i < key.length; i = i + 1) { h = h * 31 + key[i]; }
+    if (h < 0) { h = -h; }
+    return h;
+  }
+  void put(int[] key, int value) {
+    this.putHashed(key, this.hashKey(key), value);
+  }
+  void putHashed(int[] key, int hashCode, int value) {
+    if (this.size * 2 >= this.keys.length) { this.rehash(); }
+    int h = hashCode %% this.keys.length;
+    while (this.keys[h] != null) { h = (h + 1) %% this.keys.length; }
+    this.keys[h] = key;
+    this.values[h] = value;
+    this.hashes[h] = hashCode;
+    this.size = this.size + 1;
+  }
+  void rehash() {
+    int[][] oldKeys = this.keys;
+    int[] oldVals = this.values;
+    int[] oldHashes = this.hashes;
+    this.keys = new int[oldKeys.length * 2][];
+    this.values = new int[oldKeys.length * 2];
+    this.hashes = new int[oldKeys.length * 2];
+    this.size = 0;
+    for (int i = 0; i < oldKeys.length; i = i + 1) {
+      if (oldKeys[i] != null) { this.putHashed(oldKeys[i], oldHashes[i], oldVals[i]); }
+    }
+  }
+}
+class WorkspaceGen {
+  Resource gen(int depth, int seed) {
+    Resource r = new Resource();
+    r.id = seed;
+    int fan = 0;
+    if (depth > 0) { fan = 3; }
+    r.children = new Resource[fan];
+    r.nChildren = fan;
+    for (int i = 0; i < fan; i = i + 1) {
+      r.children[i] = this.gen(depth - 1, seed * 4 + i + 1);
+    }
+    return r;
+  }
+}
+class Main {
+  static void main() {
+    int traversals = %d;
+    WorkspaceGen g = new WorkspaceGen();
+    Resource root = g.gen(4, 1);
+    Worklist wl = new Worklist();
+    wl.init(256);
+    int visits = 0;
+    for (int t = 0; t < traversals; t = t + 1) {
+      visits = visits + wl.traverse(root);
+    }
+    Hashtable ht = new Hashtable();
+    ht.init(8);
+    for (int k = 0; k < traversals * 4; k = k + 1) {
+      int[] key = new int[6];
+      for (int i = 0; i < 6; i = i + 1) { key[i] = hash(k * 6 + i); }
+      ht.put(key, k);
+    }
+    print(visits);
+    print(ht.size);
+  }
+}`
+
+const bloatBloated = `
+class CharBuf {
+  int[] chars;
+  int len;
+  void init(int cap) { this.chars = new int[cap]; this.len = 0; }
+  void append(int c) {
+    if (this.len < this.chars.length) {
+      this.chars[this.len] = c;
+      this.len = this.len + 1;
+    }
+  }
+  void appendInt(int v) {
+    if (v == 0) { this.append(48); return; }
+    if (v < 0) { this.append(45); v = -v; }
+    int rev = 0;
+    while (v > 0) { rev = rev * 10 + v %% 10; v = v / 10; }
+    while (rev > 0) { this.append(48 + rev %% 10); rev = rev / 10; }
+  }
+}
+class Node {
+  int kind;
+  int value;
+  Node left;
+  Node right;
+  CharBuf describe() {
+    CharBuf sb = new CharBuf();
+    sb.init(32);
+    sb.append(110); sb.append(111); sb.append(100); sb.append(101);
+    sb.appendInt(this.kind);
+    sb.append(58);
+    sb.appendInt(this.value);
+    return sb;
+  }
+}
+class NodeComparator {
+  int compare(Node a, Node b) {
+    if (a == null && b == null) { return 0; }
+    if (a == null) { return -1; }
+    if (b == null) { return 1; }
+    if (a.value != b.value) { return a.value - b.value; }
+    NodeComparator lc = new NodeComparator();
+    int l = lc.compare(a.left, b.left);
+    if (l != 0) { return l; }
+    NodeComparator rc = new NodeComparator();
+    return rc.compare(a.right, b.right);
+  }
+}
+class Builder {
+  Node build(int depth, int seed) {
+    if (depth == 0) { return null; }
+    Node n = new Node();
+    n.kind = seed %% 7;
+    n.value = hash(seed) %% 1000;
+    n.left = this.build(depth - 1, seed * 2 + 1);
+    n.right = this.build(depth - 1, seed * 2 + 2);
+    return n;
+  }
+}
+class Walker {
+  int walk(Node n, boolean debugging) {
+    if (n == null) { return 0; }
+    CharBuf msg = n.describe();              // built for EVERY node visited
+    int c = 0;
+    if (debugging) { c = msg.len; }          // …but consumed only when debugging
+    return c + this.walk(n.left, debugging) + this.walk(n.right, debugging);
+  }
+}
+class Main {
+  static void main() {
+    boolean debugging = false;
+    int rounds = %d;
+    Builder bld = new Builder();
+    Walker w = new Walker();
+    int acc = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      Node t1 = bld.build(5, r + 1);
+      Node t2 = bld.build(5, r + 2);
+      NodeComparator cmp = new NodeComparator();
+      acc = acc + cmp.compare(t1, t2);
+      acc = acc + w.walk(t1, debugging);
+      acc = acc + w.walk(t2, debugging);
+    }
+    print(acc);
+  }
+}`
+
+const bloatOptimized = `
+class CharBuf {
+  int[] chars;
+  int len;
+  void init(int cap) { this.chars = new int[cap]; this.len = 0; }
+  void append(int c) {
+    if (this.len < this.chars.length) {
+      this.chars[this.len] = c;
+      this.len = this.len + 1;
+    }
+  }
+  void appendInt(int v) {
+    if (v == 0) { this.append(48); return; }
+    if (v < 0) { this.append(45); v = -v; }
+    int rev = 0;
+    while (v > 0) { rev = rev * 10 + v %% 10; v = v / 10; }
+    while (rev > 0) { this.append(48 + rev %% 10); rev = rev / 10; }
+  }
+}
+class Node {
+  int kind;
+  int value;
+  Node left;
+  Node right;
+  CharBuf describe() {
+    CharBuf sb = new CharBuf();
+    sb.init(32);
+    sb.append(110); sb.append(111); sb.append(100); sb.append(101);
+    sb.appendInt(this.kind);
+    sb.append(58);
+    sb.appendInt(this.value);
+    return sb;
+  }
+}
+class NodeComparator {
+  int compare(Node a, Node b) {           // single comparator, recurse on this
+    if (a == null && b == null) { return 0; }
+    if (a == null) { return -1; }
+    if (b == null) { return 1; }
+    if (a.value != b.value) { return a.value - b.value; }
+    int l = this.compare(a.left, b.left);
+    if (l != 0) { return l; }
+    return this.compare(a.right, b.right);
+  }
+}
+class Builder {
+  Node build(int depth, int seed) {
+    if (depth == 0) { return null; }
+    Node n = new Node();
+    n.kind = seed %% 7;
+    n.value = hash(seed) %% 1000;
+    n.left = this.build(depth - 1, seed * 2 + 1);
+    n.right = this.build(depth - 1, seed * 2 + 2);
+    return n;
+  }
+}
+class Walker {
+  int walk(Node n, boolean debugging) {
+    if (n == null) { return 0; }
+    int c = 0;
+    if (debugging) {                         // string built only when needed
+      CharBuf msg = n.describe();
+      c = msg.len;
+    }
+    return c + this.walk(n.left, debugging) + this.walk(n.right, debugging);
+  }
+}
+class Main {
+  static void main() {
+    boolean debugging = false;
+    int rounds = %d;
+    Builder bld = new Builder();
+    Walker w = new Walker();
+    NodeComparator cmp = new NodeComparator();
+    int acc = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      Node t1 = bld.build(5, r + 1);
+      Node t2 = bld.build(5, r + 2);
+      acc = acc + cmp.compare(t1, t2);
+      acc = acc + w.walk(t1, debugging);
+      acc = acc + w.walk(t2, debugging);
+    }
+    print(acc);
+  }
+}`

@@ -1,0 +1,438 @@
+package casestudies
+
+import "fmt"
+
+func init() {
+	registerStudy(&CaseStudy{
+		Name: "derby",
+		Pattern: "FileContainer's info array is regenerated on every page write although " +
+			"only checkpoints read it; context IDs are expensive composite keys re-derived " +
+			"per lookup",
+		Fix: "update the array only before it is read, and replace the derived keys with " +
+			"plain integer IDs",
+		PaperResult:    "6% running time reduction, 8.6% fewer objects",
+		SuspectMethods: []string{"FileContainer.init"},
+		Bloated:        func(scale int) string { return fmt.Sprintf(derbyBloated, 60*scale) },
+		Optimized:      func(scale int) string { return fmt.Sprintf(derbyOptimized, 60*scale) },
+	})
+
+	registerStudy(&CaseStudy{
+		Name: "tomcat",
+		Pattern: "util.Mapper allocates a fresh context array on every add and discards the " +
+			"old one; getProperty derives and compares type names per request",
+		Fix:            "keep two arrays and reuse them back and forth; compare type tags directly",
+		PaperResult:    "~2% running time reduction (3 seconds)",
+		SuspectMethods: []string{"Mapper.addContext"},
+		Bloated:        func(scale int) string { return fmt.Sprintf(tomcatBloated, 50*scale) },
+		Optimized:      func(scale int) string { return fmt.Sprintf(tomcatOptimized, 50*scale) },
+	})
+
+	registerStudy(&CaseStudy{
+		Name: "tradebeans",
+		Pattern: "KeyBlock and its iterators wrap plain integer ranges in objects and issue " +
+			"redundant database queries and updates per ID request",
+		Fix:            "drop the redundant queries and represent the IDs with a plain int range",
+		PaperResult:    "2.5% running time reduction (350s → 341s), 2.3% fewer objects",
+		SuspectClasses: []string{"KeyBlock", "KeyBlockIter"},
+		Bloated:        func(scale int) string { return fmt.Sprintf(tradebeansBloated, 25*scale) },
+		Optimized:      func(scale int) string { return fmt.Sprintf(tradebeansOptimized, 25*scale) },
+	})
+}
+
+const derbyBloated = `
+class PageStore {
+  int store(int pageNo, int data) {        // neutral page I/O work shared by
+    int cs = 0;                            // both variants
+    for (int i = 0; i < 40; i = i + 1) {
+      cs = cs + ((data >> (i & 31)) & 1) * (pageNo + i);
+    }
+    return cs;
+  }
+}
+class FileContainer {
+  int[] info;
+  int pages;
+  int lastPage;
+  int lastData;
+  void init() { this.info = new int[8]; this.pages = 0; }
+  void writePage(int pageNo, int data) {
+    this.info[0] = this.pages;             // rebuilt on EVERY write
+    this.info[1] = pageNo;
+    this.info[2] = hash(pageNo) %% 4096;
+    this.info[3] = data & 255;
+    this.info[4] = this.info[0] + this.info[1];
+    this.info[5] = hash(data) %% 4096;
+    this.info[6] = 2;
+    this.info[7] = 1;
+    this.pages = this.pages + 1;
+  }
+  int checkpoint() {
+    int s = 0;
+    for (int i = 0; i < this.info.length; i = i + 1) { s = s + this.info[i]; }
+    return s;
+  }
+}
+class ContextMap {
+  int[] keys;
+  int[] vals;
+  int size;
+  void init(int cap) { this.keys = new int[cap]; this.vals = new int[cap]; this.size = 0; }
+  int keyOf(int mgr, int kind) {           // composite key derived per access
+    int k = 17;
+    k = k * 31 + mgr;
+    k = k * 31 + kind;
+    k = k * 31 + (hash(mgr * 7 + kind) & 65535);
+    return k;
+  }
+  void put(int mgr, int kind, int v) {
+    int k = this.keyOf(mgr, kind);
+    for (int i = 0; i < this.size; i = i + 1) {
+      if (this.keys[i] == k) { this.vals[i] = v; return; }
+    }
+    this.keys[this.size] = k;
+    this.vals[this.size] = v;
+    this.size = this.size + 1;
+  }
+  int get(int mgr, int kind) {
+    int k = this.keyOf(mgr, kind);
+    for (int i = 0; i < this.size; i = i + 1) {
+      if (this.keys[i] == k) { return this.vals[i]; }
+    }
+    return -1;
+  }
+}
+class Main {
+  static void main() {
+    int writes = %d;
+    FileContainer fc = new FileContainer();
+    fc.init();
+    ContextMap cm = new ContextMap();
+    cm.init(32);
+    PageStore pst = new PageStore();
+    int acc = 0;
+    for (int i = 0; i < writes; i = i + 1) {
+      int data = hash(i);
+      acc = acc + pst.store(i, data);
+      fc.writePage(i, data);
+      cm.put(i %% 8, i %% 3, i);
+      acc = acc + cm.get(i %% 8, (i + 1) %% 3);
+    }
+    print(fc.checkpoint());
+    print(acc);
+  }
+}`
+
+const derbyOptimized = `
+class PageStore {
+  int store(int pageNo, int data) {        // neutral page I/O work shared by
+    int cs = 0;                            // both variants
+    for (int i = 0; i < 40; i = i + 1) {
+      cs = cs + ((data >> (i & 31)) & 1) * (pageNo + i);
+    }
+    return cs;
+  }
+}
+class FileContainer {
+  int[] info;
+  int pages;
+  int lastPage;
+  int lastData;
+  void init() { this.info = new int[8]; this.pages = 0; }
+  void writePage(int pageNo, int data) {
+    this.lastPage = pageNo;                // record, don't rebuild
+    this.lastData = data;
+    this.pages = this.pages + 1;
+  }
+  int checkpoint() {                       // build info only when read
+    this.info[0] = this.pages - 1;
+    this.info[1] = this.lastPage;
+    this.info[2] = hash(this.lastPage) %% 4096;
+    this.info[3] = this.lastData & 255;
+    this.info[4] = this.info[0] + this.info[1];
+    this.info[5] = hash(this.lastData) %% 4096;
+    this.info[6] = 2;
+    this.info[7] = 1;
+    int s = 0;
+    for (int i = 0; i < this.info.length; i = i + 1) { s = s + this.info[i]; }
+    return s;
+  }
+}
+class ContextMap {
+  int[] keys;
+  int[] vals;
+  int size;
+  void init(int cap) { this.keys = new int[cap]; this.vals = new int[cap]; this.size = 0; }
+  int keyOf(int mgr, int kind) { return mgr * 31 + kind; }   // plain int ID
+  void put(int mgr, int kind, int v) {
+    int k = this.keyOf(mgr, kind);
+    for (int i = 0; i < this.size; i = i + 1) {
+      if (this.keys[i] == k) { this.vals[i] = v; return; }
+    }
+    this.keys[this.size] = k;
+    this.vals[this.size] = v;
+    this.size = this.size + 1;
+  }
+  int get(int mgr, int kind) {
+    int k = this.keyOf(mgr, kind);
+    for (int i = 0; i < this.size; i = i + 1) {
+      if (this.keys[i] == k) { return this.vals[i]; }
+    }
+    return -1;
+  }
+}
+class Main {
+  static void main() {
+    int writes = %d;
+    FileContainer fc = new FileContainer();
+    fc.init();
+    ContextMap cm = new ContextMap();
+    cm.init(32);
+    PageStore pst = new PageStore();
+    int acc = 0;
+    for (int i = 0; i < writes; i = i + 1) {
+      int data = hash(i);
+      acc = acc + pst.store(i, data);
+      fc.writePage(i, data);
+      cm.put(i %% 8, i %% 3, i);
+      acc = acc + cm.get(i %% 8, (i + 1) %% 3);
+    }
+    print(fc.checkpoint());
+    print(acc);
+  }
+}`
+
+const tomcatBloated = `
+class RequestParser {
+  int parse(int req) {                     // neutral per-request work shared
+    int h = req;                           // by both variants: the bulk of
+    for (int i = 0; i < 60; i = i + 1) {   // tomcat that the fix cannot touch
+      h = h * 31 + ((req >> (i & 15)) & 1);
+      h = h ^ (h >> 7);
+    }
+    return h & 255;
+  }
+}
+class Mapper {
+  int[] contexts;
+  void init() { this.contexts = new int[0]; }
+  void addContext(int c) {
+    int[] neu = new int[this.contexts.length + 1];   // fresh array per add
+    int i = 0;
+    while (i < this.contexts.length && this.contexts[i] < c) {
+      neu[i] = this.contexts[i];
+      i = i + 1;
+    }
+    neu[i] = c;
+    while (i < this.contexts.length) {
+      neu[i + 1] = this.contexts[i];
+      i = i + 1;
+    }
+    this.contexts = neu;
+  }
+  int map(int host) {
+    if (this.contexts.length == 0) { return -1; }
+    int lo = 0;
+    int hi = this.contexts.length - 1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (this.contexts[mid] < host) { lo = mid + 1; } else { hi = mid; }
+    }
+    return this.contexts[lo];
+  }
+}
+class PropertySource {
+  int typeNameOf(int kind) { return hash(kind * 77) & 1023; }
+  int getProperty(int key, int kind) {
+    int intName = this.typeNameOf(0);       // names derived per request
+    int boolName = this.typeNameOf(1);
+    int longName = this.typeNameOf(2);
+    int name = this.typeNameOf(kind);
+    if (name == intName) { return key * 2; }
+    if (name == boolName) { return key & 1; }
+    if (name == longName) { return key * 4; }
+    return key;
+  }
+}
+class Main {
+  static void main() {
+    int requests = %d;
+    Mapper m = new Mapper();
+    m.init();
+    PropertySource ps = new PropertySource();
+    RequestParser rp = new RequestParser();
+    int acc = 0;
+    for (int i = 0; i < requests; i = i + 1) {
+      if (i %% 10 == 0) { m.addContext(i); }
+      acc = acc + rp.parse(i);
+      acc = acc + m.map(i %% 97);
+      acc = acc + ps.getProperty(i, i %% 3);
+    }
+    print(acc);
+  }
+}`
+
+const tomcatOptimized = `
+class RequestParser {
+  int parse(int req) {                     // neutral per-request work shared
+    int h = req;                           // by both variants: the bulk of
+    for (int i = 0; i < 60; i = i + 1) {   // tomcat that the fix cannot touch
+      h = h * 31 + ((req >> (i & 15)) & 1);
+      h = h ^ (h >> 7);
+    }
+    return h & 255;
+  }
+}
+class Mapper {
+  int[] contexts;     // primary, sized to capacity
+  int size;
+  void init(int cap) { this.contexts = new int[cap]; this.size = 0; }
+  void addContext(int c) {
+    int i = this.size - 1;                 // shift in place, no allocation
+    while (i >= 0 && this.contexts[i] >= c) {
+      this.contexts[i + 1] = this.contexts[i];
+      i = i - 1;
+    }
+    this.contexts[i + 1] = c;
+    this.size = this.size + 1;
+  }
+  int map(int host) {
+    if (this.size == 0) { return -1; }
+    int lo = 0;
+    int hi = this.size - 1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (this.contexts[mid] < host) { lo = mid + 1; } else { hi = mid; }
+    }
+    return this.contexts[lo];
+  }
+}
+class PropertySource {
+  int getProperty(int key, int kind) {     // compare the tag directly
+    if (kind == 0) { return key * 2; }
+    if (kind == 1) { return key & 1; }
+    if (kind == 2) { return key * 4; }
+    return key;
+  }
+}
+class Main {
+  static void main() {
+    int requests = %d;
+    Mapper m = new Mapper();
+    m.init(requests / 10 + 2);
+    PropertySource ps = new PropertySource();
+    RequestParser rp = new RequestParser();
+    int acc = 0;
+    for (int i = 0; i < requests; i = i + 1) {
+      if (i %% 10 == 0) { m.addContext(i); }
+      acc = acc + rp.parse(i);
+      acc = acc + m.map(i %% 97);
+      acc = acc + ps.getProperty(i, i %% 3);
+    }
+    print(acc);
+  }
+}`
+
+const tradebeansBloated = `
+class Pricing {
+  int quote(int order) {                   // neutral trading logic shared by
+    int px = 1000 + (order & 63);          // both variants
+    for (int i = 0; i < 400; i = i + 1) {
+      px = px + ((order >> (i & 15)) & 1);
+      px = px ^ (px >> 5);
+      px = px + 3;
+    }
+    return px & 4095;
+  }
+}
+class KeyBlockIter {
+  KeyBlock owner;
+  int cursor;
+  boolean hasNext() { return this.cursor < this.owner.hi; }
+  int next() {
+    int v = this.cursor;
+    this.cursor = this.cursor + 1;
+    return v;
+  }
+}
+class KeyBlock {
+  int lo;
+  int hi;
+  int account;
+  void refresh() {
+    int a = dbQuery(this.account, this.lo);    // redundant round-trips
+    int b = dbQuery(this.account, this.hi);
+    int unused = a ^ b;
+    if (unused == -1) { print(unused); }
+  }
+  KeyBlockIter iterator() {
+    KeyBlockIter it = new KeyBlockIter();
+    it.owner = this;
+    it.cursor = this.lo;
+    return it;
+  }
+}
+class AccountService {
+  int nextId;
+  int allocate(int n) {
+    KeyBlock kb = new KeyBlock();
+    kb.lo = this.nextId;
+    kb.hi = this.nextId + n;
+    kb.account = 7;
+    kb.refresh();
+    this.nextId = this.nextId + n;
+    KeyBlockIter it = kb.iterator();
+    int last = 0;
+    while (it.hasNext()) { last = it.next(); }
+    return last;
+  }
+}
+class Main {
+  static void main() {
+    int orders = %d;
+    AccountService svc = new AccountService();
+    Pricing pr = new Pricing();
+    int acc = 0;
+    for (int i = 0; i < orders; i = i + 1) {
+      acc = acc + pr.quote(i);
+      acc = acc + svc.allocate(10);
+    }
+    print(acc);
+  }
+}`
+
+const tradebeansOptimized = `
+class Pricing {
+  int quote(int order) {                   // neutral trading logic shared by
+    int px = 1000 + (order & 63);          // both variants
+    for (int i = 0; i < 400; i = i + 1) {
+      px = px + ((order >> (i & 15)) & 1);
+      px = px ^ (px >> 5);
+      px = px + 3;
+    }
+    return px & 4095;
+  }
+}
+class AccountService {
+  int nextId;
+  int allocate(int n) {                      // plain int range, no queries
+    int lo = this.nextId;
+    int hi = this.nextId + n;
+    this.nextId = hi;
+    int last = 0;
+    for (int id = lo; id < hi; id = id + 1) { last = id; }
+    return last;
+  }
+}
+class Main {
+  static void main() {
+    int orders = %d;
+    AccountService svc = new AccountService();
+    Pricing pr = new Pricing();
+    int acc = 0;
+    for (int i = 0; i < orders; i = i + 1) {
+      acc = acc + pr.quote(i);
+      acc = acc + svc.allocate(10);
+    }
+    print(acc);
+  }
+}`

@@ -1,0 +1,310 @@
+package clients
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lowutil/internal/depgraph"
+	"lowutil/internal/interp"
+	"lowutil/internal/ir"
+)
+
+// Origin identifies where a value was last loaded from: an (allocation site,
+// field) pair, or Bottom for values produced by computation, constants, or
+// fresh allocations.
+type Origin struct {
+	Site  int // allocation site; -1 for Bottom
+	Field int // field ID; depgraph.ElemField for array elements
+}
+
+// Bottom is the ⊥ origin.
+var Bottom = Origin{Site: -1}
+
+// IsBottom reports whether o is ⊥.
+func (o Origin) IsBottom() bool { return o.Site < 0 }
+
+func (o Origin) String() string {
+	if o.IsBottom() {
+		return "⊥"
+	}
+	if o.Field == depgraph.ElemField {
+		return fmt.Sprintf("O%d.ELM", o.Site)
+	}
+	return fmt.Sprintf("O%d.f%d", o.Site, o.Field)
+}
+
+// CopyProfiler implements the extended copy profiling client of Figure 2(c):
+// abstract dynamic slicing with domain D = O × P ∪ {⊥}. Each stack and heap
+// location carries the object field its value originated from; copy
+// instructions become nodes annotated with that origin, and dependence edges
+// link consecutive copies — so a backward walk from a field store recovers
+// the whole copy chain including intermediate stack locations.
+type CopyProfiler struct {
+	G *depgraph.Graph
+
+	prog     *ir.Program
+	statics  []copyCell
+	pendArgs []copyCell
+	havePend bool
+	pendRet  copyCell
+
+	// chains aggregates completed heap-to-heap copies: source origin →
+	// target origin → dynamic count.
+	chains map[Origin]map[Origin]int64
+	// TotalCopies counts executed copy instructions (Move + load/store).
+	TotalCopies int64
+}
+
+// copyCell is the shadow of one location: the origin of its value and the
+// node of the last copy instruction that moved it.
+type copyCell struct {
+	origin Origin
+	node   *depgraph.Node
+}
+
+// NewCopyProfiler returns a copy profiler for prog.
+func NewCopyProfiler(prog *ir.Program) *CopyProfiler {
+	return &CopyProfiler{
+		G:       depgraph.New(prog),
+		prog:    prog,
+		statics: make([]copyCell, len(prog.Statics)),
+		chains:  make(map[Origin]map[Origin]int64),
+	}
+}
+
+type copyFrameShadow struct{ cells []copyCell }
+type copyObjShadow struct{ cells []copyCell }
+
+func (cp *CopyProfiler) fshadow(fr *interp.Frame) *copyFrameShadow {
+	if fs, ok := fr.Shadow.(*copyFrameShadow); ok {
+		return fs
+	}
+	fs := &copyFrameShadow{cells: make([]copyCell, len(fr.Locals))}
+	fr.Shadow = fs
+	return fs
+}
+
+func (cp *CopyProfiler) oshadow(o *interp.Object) *copyObjShadow {
+	if os, ok := o.Shadow.(*copyObjShadow); ok {
+		return os
+	}
+	n := len(o.Fields)
+	if o.IsArray() {
+		n = len(o.Elems)
+	}
+	os := &copyObjShadow{cells: make([]copyCell, n)}
+	o.Shadow = os
+	return os
+}
+
+// encode maps an Origin to an abstract-domain integer. Field IDs are dense
+// per program; ElemField (-1) gets its own slot per site.
+func (cp *CopyProfiler) encode(o Origin) int {
+	if o.IsBottom() {
+		return 0
+	}
+	width := cp.prog.NumFields + 1 // +1 for ELM
+	f := o.Field
+	if f == depgraph.ElemField {
+		f = cp.prog.NumFields
+	}
+	return 1 + o.Site*width + f
+}
+
+func (cp *CopyProfiler) recordChain(src, dst Origin) {
+	if src.IsBottom() {
+		return
+	}
+	m := cp.chains[src]
+	if m == nil {
+		m = make(map[Origin]int64, 2)
+		cp.chains[src] = m
+	}
+	m[dst]++
+}
+
+// copyNode makes the node for a copy instruction instance with origin o and
+// links it to the previous copy node.
+func (cp *CopyProfiler) copyNode(in *ir.Instr, o Origin, prev *depgraph.Node) *depgraph.Node {
+	n := cp.G.Touch(in, cp.encode(o))
+	cp.G.AddDep(n, prev)
+	return n
+}
+
+// Exec implements interp.Tracer.
+func (cp *CopyProfiler) Exec(ev *interp.Event) {
+	in := ev.In
+	fs := cp.fshadow(ev.Frame)
+	switch in.Op {
+	case ir.OpConst, ir.OpBin, ir.OpNeg, ir.OpNot, ir.OpInstanceOf,
+		ir.OpNew, ir.OpNewArray, ir.OpArrayLen:
+		// Computation or fresh value: origin resets to ⊥.
+		if in.Dst >= 0 {
+			fs.cells[in.Dst] = copyCell{origin: Bottom}
+		}
+	case ir.OpMove:
+		cp.TotalCopies++
+		src := fs.cells[in.A]
+		n := cp.copyNode(in, src.origin, src.node)
+		fs.cells[in.Dst] = copyCell{origin: src.origin, node: n}
+	case ir.OpLoadField:
+		cp.TotalCopies++
+		o := Origin{Site: ev.Base.Site, Field: in.Field.ID}
+		n := cp.copyNode(in, o, nil)
+		fs.cells[in.Dst] = copyCell{origin: o, node: n}
+	case ir.OpStoreField:
+		cp.TotalCopies++
+		src := fs.cells[in.B]
+		n := cp.copyNode(in, src.origin, src.node)
+		dst := Origin{Site: ev.Base.Site, Field: in.Field.ID}
+		cp.recordChain(src.origin, dst)
+		os := cp.oshadow(ev.Base)
+		if in.Field.Slot < len(os.cells) {
+			os.cells[in.Field.Slot] = copyCell{origin: src.origin, node: n}
+		}
+	case ir.OpLoadStatic:
+		cp.TotalCopies++
+		o := Origin{Site: -2 - in.Static.Slot, Field: 0} // statics get pseudo-sites
+		_ = o
+		n := cp.copyNode(in, Bottom, nil)
+		fs.cells[in.Dst] = copyCell{origin: Bottom, node: n}
+	case ir.OpStoreStatic:
+		cp.TotalCopies++
+		src := fs.cells[in.A]
+		n := cp.copyNode(in, src.origin, src.node)
+		cp.statics[in.Static.Slot] = copyCell{origin: src.origin, node: n}
+	case ir.OpALoad:
+		cp.TotalCopies++
+		o := Origin{Site: ev.Base.Site, Field: depgraph.ElemField}
+		n := cp.copyNode(in, o, nil)
+		fs.cells[in.Dst] = copyCell{origin: o, node: n}
+	case ir.OpAStore:
+		cp.TotalCopies++
+		src := fs.cells[in.C2]
+		n := cp.copyNode(in, src.origin, src.node)
+		dst := Origin{Site: ev.Base.Site, Field: depgraph.ElemField}
+		cp.recordChain(src.origin, dst)
+		os := cp.oshadow(ev.Base)
+		if int(ev.Index) < len(os.cells) {
+			os.cells[ev.Index] = copyCell{origin: src.origin, node: n}
+		}
+	case ir.OpNative:
+		if in.Dst >= 0 {
+			fs.cells[in.Dst] = copyCell{origin: Bottom}
+		}
+	}
+}
+
+// BeforeCall implements interp.Tracer: argument passing is a stack copy.
+func (cp *CopyProfiler) BeforeCall(in *ir.Instr, caller *interp.Frame, callee *ir.Method, recv *interp.Object) {
+	fs := cp.fshadow(caller)
+	cp.pendArgs = cp.pendArgs[:0]
+	for _, a := range in.Args {
+		cp.pendArgs = append(cp.pendArgs, fs.cells[a])
+	}
+	cp.havePend = true
+}
+
+// EnterMethod implements interp.Tracer.
+func (cp *CopyProfiler) EnterMethod(fr *interp.Frame, recv *interp.Object) {
+	fs := &copyFrameShadow{cells: make([]copyCell, fr.Method.NumLocals)}
+	if cp.havePend {
+		copy(fs.cells, cp.pendArgs)
+		cp.havePend = false
+	}
+	fr.Shadow = fs
+}
+
+// BeforeReturn implements interp.Tracer.
+func (cp *CopyProfiler) BeforeReturn(in *ir.Instr, fr *interp.Frame) {
+	if in.HasA {
+		cp.pendRet = cp.fshadow(fr).cells[in.A]
+	} else {
+		cp.pendRet = copyCell{origin: Bottom}
+	}
+}
+
+// AfterCall implements interp.Tracer.
+func (cp *CopyProfiler) AfterCall(in *ir.Instr, caller *interp.Frame, hasValue bool) {
+	ret := cp.pendRet
+	cp.pendRet = copyCell{origin: Bottom}
+	if !hasValue || in == nil || in.Dst < 0 {
+		return
+	}
+	cp.fshadow(caller).cells[in.Dst] = ret
+}
+
+// Chain summarizes one heap-to-heap copy relation.
+type Chain struct {
+	Src, Dst Origin
+	Count    int64
+	// StackHops is the number of distinct intermediate stack nodes on
+	// recorded paths between Src loads and Dst stores.
+	StackHops int
+}
+
+func (c Chain) String() string {
+	return fmt.Sprintf("%s -> %s ×%d (%d stack hops)", c.Src, c.Dst, c.Count, c.StackHops)
+}
+
+// Chains returns all recorded heap-to-heap copy chains, by descending count.
+func (cp *CopyProfiler) Chains() []Chain {
+	var out []Chain
+	for src, m := range cp.chains {
+		for dst, cnt := range m {
+			out = append(out, Chain{Src: src, Dst: dst, Count: cnt, StackHops: cp.stackHops(src, dst)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out
+}
+
+// stackHops walks backward from store nodes whose origin is src, counting
+// the distinct intermediate copy nodes until the load that introduced the
+// origin — the "intermediate stack locations" of the extended analysis.
+func (cp *CopyProfiler) stackHops(src, dst Origin) int {
+	d := cp.encode(src)
+	count := 0
+	seen := map[*depgraph.Node]bool{}
+	cp.G.Nodes(func(n *depgraph.Node) {
+		if n.D != d || !n.In.WritesHeap() {
+			return
+		}
+		// Walk the same-origin chain backward.
+		cur := n
+		for cur != nil && !seen[cur] {
+			seen[cur] = true
+			if !cur.In.WritesHeap() && !cur.In.ReadsHeap() {
+				count++
+			}
+			var prev *depgraph.Node
+			cur.Deps(func(dep *depgraph.Node) {
+				if prev == nil && dep.D == d {
+					prev = dep
+				}
+			})
+			cur = prev
+		}
+	})
+	return count
+}
+
+// FormatChains renders the top k chains.
+func FormatChains(chains []Chain, k int) string {
+	var sb strings.Builder
+	for i, c := range chains {
+		if i >= k {
+			break
+		}
+		fmt.Fprintf(&sb, "%s\n", c)
+	}
+	return sb.String()
+}
+
+var _ interp.Tracer = (*CopyProfiler)(nil)

@@ -1,0 +1,261 @@
+// Package clients implements the client analyses the paper builds on top of
+// abstract dynamic thin slicing (§2.1) and on Gcost (§3.2):
+//
+//   - null-value propagation tracking (Figure 2(a))
+//   - typestate history recording (Figure 2(b), QVM-style)
+//   - extended copy profiling with intermediate stack nodes (Figure 2(c))
+//   - method-level relative cost
+//   - locations rewritten before being read
+//   - always-true / always-false predicate detection
+//   - collection ranking by cost-benefit rate
+//
+// Each client is an interp.Tracer with a small bounded abstract domain,
+// demonstrating that "by carefully selecting domain D and abstraction
+// functions f_a, it is possible to require only a small amount of memory for
+// the graph and yet preserve necessary information needed for a target
+// analysis".
+package clients
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"lowutil/internal/depgraph"
+	"lowutil/internal/interp"
+	"lowutil/internal/ir"
+)
+
+// Null-propagation abstract domain: D = {notnull, null}.
+const (
+	dNotNull = 0
+	dNull    = 1
+)
+
+// NullTracker implements the null-propagation client. It builds an abstract
+// dependence graph whose nodes are instructions annotated with whether the
+// produced value was null, and answers "where did this null come from and
+// how did it get here?" after a NullPointerException.
+type NullTracker struct {
+	G *depgraph.Graph
+
+	statics  []*depgraph.Node
+	pendArgs []*depgraph.Node
+	havePend bool
+	pendRet  *depgraph.Node
+}
+
+// NewNullTracker returns a tracker for prog.
+func NewNullTracker(prog *ir.Program) *NullTracker {
+	return &NullTracker{
+		G:       depgraph.New(prog),
+		statics: make([]*depgraph.Node, len(prog.Statics)),
+	}
+}
+
+type nullFrameShadow struct{ nodes []*depgraph.Node }
+type nullObjShadow struct{ slots []*depgraph.Node }
+
+func (nt *NullTracker) fshadow(fr *interp.Frame) *nullFrameShadow {
+	if fs, ok := fr.Shadow.(*nullFrameShadow); ok {
+		return fs
+	}
+	fs := &nullFrameShadow{nodes: make([]*depgraph.Node, len(fr.Locals))}
+	fr.Shadow = fs
+	return fs
+}
+
+func (nt *NullTracker) oshadow(o *interp.Object) *nullObjShadow {
+	if os, ok := o.Shadow.(*nullObjShadow); ok {
+		return os
+	}
+	n := len(o.Fields)
+	if o.IsArray() {
+		n = len(o.Elems)
+	}
+	os := &nullObjShadow{slots: make([]*depgraph.Node, n)}
+	o.Shadow = os
+	return os
+}
+
+// abstraction: d = null iff the produced value is the null reference.
+func dOf(v interp.Value) int {
+	if v.IsNull() {
+		return dNull
+	}
+	return dNotNull
+}
+
+// Exec implements interp.Tracer. Only reference-relevant flows matter, but
+// tracking everything uniformly is simpler and still bounded by 2|I|.
+func (nt *NullTracker) Exec(ev *interp.Event) {
+	in := ev.In
+	fs := nt.fshadow(ev.Frame)
+	g := nt.G
+	switch in.Op {
+	case ir.OpConst:
+		fs.nodes[in.Dst] = g.Touch(in, dOf(ev.Val))
+	case ir.OpMove:
+		n := g.Touch(in, dOf(ev.Val))
+		g.AddDep(n, fs.nodes[in.A])
+		fs.nodes[in.Dst] = n
+	case ir.OpBin:
+		n := g.Touch(in, dNotNull)
+		g.AddDep(n, fs.nodes[in.A])
+		g.AddDep(n, fs.nodes[in.B])
+		fs.nodes[in.Dst] = n
+	case ir.OpNeg, ir.OpNot, ir.OpInstanceOf, ir.OpArrayLen:
+		n := g.Touch(in, dNotNull)
+		g.AddDep(n, fs.nodes[in.A])
+		fs.nodes[in.Dst] = n
+	case ir.OpNew, ir.OpNewArray:
+		fs.nodes[in.Dst] = g.Touch(in, dNotNull)
+	case ir.OpLoadField:
+		n := g.Touch(in, dOf(ev.Val))
+		os := nt.oshadow(ev.Base)
+		if in.Field.Slot < len(os.slots) {
+			g.AddDep(n, os.slots[in.Field.Slot])
+		}
+		fs.nodes[in.Dst] = n
+	case ir.OpStoreField:
+		n := g.Touch(in, dOf(ev.Val))
+		g.AddDep(n, fs.nodes[in.B])
+		os := nt.oshadow(ev.Base)
+		if in.Field.Slot < len(os.slots) {
+			os.slots[in.Field.Slot] = n
+		}
+	case ir.OpLoadStatic:
+		n := g.Touch(in, dOf(ev.Val))
+		g.AddDep(n, nt.statics[in.Static.Slot])
+		fs.nodes[in.Dst] = n
+	case ir.OpStoreStatic:
+		n := g.Touch(in, dOf(ev.Val))
+		g.AddDep(n, fs.nodes[in.A])
+		nt.statics[in.Static.Slot] = n
+	case ir.OpALoad:
+		n := g.Touch(in, dOf(ev.Val))
+		os := nt.oshadow(ev.Base)
+		if int(ev.Index) < len(os.slots) {
+			g.AddDep(n, os.slots[ev.Index])
+		}
+		fs.nodes[in.Dst] = n
+	case ir.OpAStore:
+		n := g.Touch(in, dOf(ev.Val))
+		g.AddDep(n, fs.nodes[in.C2])
+		os := nt.oshadow(ev.Base)
+		if int(ev.Index) < len(os.slots) {
+			os.slots[ev.Index] = n
+		}
+	case ir.OpIf, ir.OpNative:
+		if in.Op == ir.OpNative && in.Dst >= 0 {
+			fs.nodes[in.Dst] = nt.G.Touch(in, dOf(ev.Val))
+		}
+	}
+}
+
+// BeforeCall implements interp.Tracer.
+func (nt *NullTracker) BeforeCall(in *ir.Instr, caller *interp.Frame, callee *ir.Method, recv *interp.Object) {
+	fs := nt.fshadow(caller)
+	nt.pendArgs = nt.pendArgs[:0]
+	for _, a := range in.Args {
+		nt.pendArgs = append(nt.pendArgs, fs.nodes[a])
+	}
+	nt.havePend = true
+}
+
+// EnterMethod implements interp.Tracer.
+func (nt *NullTracker) EnterMethod(fr *interp.Frame, recv *interp.Object) {
+	fs := &nullFrameShadow{nodes: make([]*depgraph.Node, fr.Method.NumLocals)}
+	if nt.havePend {
+		copy(fs.nodes, nt.pendArgs)
+		nt.havePend = false
+	}
+	fr.Shadow = fs
+}
+
+// BeforeReturn implements interp.Tracer.
+func (nt *NullTracker) BeforeReturn(in *ir.Instr, fr *interp.Frame) {
+	if in.HasA {
+		nt.pendRet = nt.fshadow(fr).nodes[in.A]
+	} else {
+		nt.pendRet = nil
+	}
+}
+
+// AfterCall implements interp.Tracer.
+func (nt *NullTracker) AfterCall(in *ir.Instr, caller *interp.Frame, hasValue bool) {
+	ret := nt.pendRet
+	nt.pendRet = nil
+	if !hasValue || in == nil || in.Dst < 0 {
+		return
+	}
+	fs := nt.fshadow(caller)
+	d := dNotNull
+	if caller.Locals[in.Dst].IsNull() {
+		d = dNull
+	}
+	n := nt.G.Touch(in, d)
+	nt.G.AddDep(n, ret)
+	fs.nodes[in.Dst] = n
+}
+
+// NullReport explains a NullPointerException: the instruction that
+// originally produced the null, the flow of copies it travelled, and the
+// dereference site.
+type NullReport struct {
+	Origin *ir.Instr
+	Flow   []*ir.Instr // origin … deref-predecessor, in flow order
+	Deref  *ir.Instr
+}
+
+func (r *NullReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "null created at %s pc %d (%s)\n", r.Origin.Method.QualifiedName(), r.Origin.PC, r.Origin)
+	for _, in := range r.Flow[1:] {
+		fmt.Fprintf(&sb, "  flows via %s pc %d (%s)\n", in.Method.QualifiedName(), in.PC, in)
+	}
+	fmt.Fprintf(&sb, "dereferenced at %s pc %d (%s)", r.Deref.Method.QualifiedName(), r.Deref.PC, r.Deref)
+	return sb.String()
+}
+
+// Diagnose explains a null-dereference VMError using the recorded graph: it
+// walks backward from the null value that reached the failing base slot,
+// following null-annotated nodes, to the node where the null was created.
+func (nt *NullTracker) Diagnose(err error) (*NullReport, bool) {
+	var vmErr *interp.VMError
+	if !errors.As(err, &vmErr) || vmErr.Kind != interp.ErrNullDeref {
+		return nil, false
+	}
+	in := vmErr.In
+	baseSlot := in.A
+	if in.Op == ir.OpCall {
+		baseSlot = in.Args[0]
+	}
+	fs := nt.fshadow(vmErr.Frame)
+	start := fs.nodes[baseSlot]
+	if start == nil || start.D != dNull {
+		return nil, false
+	}
+	// Walk to the origin: repeatedly step to a null-annotated dependency.
+	var flow []*ir.Instr
+	seen := map[*depgraph.Node]bool{}
+	cur := start
+	for cur != nil && !seen[cur] {
+		seen[cur] = true
+		flow = append(flow, cur.In)
+		var next *depgraph.Node
+		cur.Deps(func(d *depgraph.Node) {
+			if next == nil && d.D == dNull {
+				next = d
+			}
+		})
+		cur = next
+	}
+	// flow is deref-side first; reverse into creation order.
+	for i, j := 0, len(flow)-1; i < j; i, j = i+1, j-1 {
+		flow[i], flow[j] = flow[j], flow[i]
+	}
+	return &NullReport{Origin: flow[0], Flow: flow, Deref: in}, true
+}
+
+var _ interp.Tracer = (*NullTracker)(nil)

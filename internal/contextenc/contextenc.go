@@ -1,0 +1,130 @@
+// Package contextenc implements the object-sensitivity context machinery of
+// the paper: calling contexts are chains of receiver-object allocation
+// sites, encoded probabilistically with the Bond–McKinley function
+//
+//	g_i = 3*g_{i-1} + o_i
+//
+// and folded into a user-chosen number of slots s with a mod operation.
+// Domain Dcost is therefore the integers [0, s).
+//
+// The package also tracks, per static instruction, which distinct encoded
+// contexts fall into each slot, so the context conflict ratio CR-s of §4.1
+// can be reported:
+//
+//	CR-s(i) = 0                         if max_j dc[j] <= 1
+//	        = max_j dc[j] / Σ_j dc[j]   otherwise
+package contextenc
+
+// Encoded is a probabilistically-unique encoding of an allocation-site
+// chain.
+type Encoded uint64
+
+// EmptyContext is the encoding of the empty chain (static entry points).
+const EmptyContext Encoded = 0
+
+// Extend returns the encoding of the chain g with allocation site o
+// appended: 3*g + o. Allocation-site IDs are offset by 1 so that extending
+// the empty context with site 0 is distinguishable from not extending it.
+func Extend(g Encoded, allocSite int) Encoded {
+	return Encoded(3*uint64(g) + uint64(allocSite) + 1)
+}
+
+// Slots is the per-run context-slot configuration: the paper's parameter s.
+type Slots struct {
+	S int
+}
+
+// NewSlots returns a Slots configuration; s must be positive.
+func NewSlots(s int) Slots {
+	if s <= 0 {
+		panic("contextenc: s must be positive")
+	}
+	return Slots{S: s}
+}
+
+// Slot maps an encoded context to its slot in [0, S).
+func (sl Slots) Slot(g Encoded) int { return int(uint64(g) % uint64(sl.S)) }
+
+// ConflictTracker records the distinct encoded contexts observed per
+// (instruction, slot) pair, for CR computation. It is exact: each
+// instruction holds one small set per used slot.
+type ConflictTracker struct {
+	slots Slots
+	// perInstr[instrID][slot] = set of distinct encodings seen.
+	perInstr []map[int]map[Encoded]struct{}
+}
+
+// NewConflictTracker returns a tracker for a program with numInstrs static
+// instructions.
+func NewConflictTracker(slots Slots, numInstrs int) *ConflictTracker {
+	return &ConflictTracker{
+		slots:    slots,
+		perInstr: make([]map[int]map[Encoded]struct{}, numInstrs),
+	}
+}
+
+// Observe records that instruction instrID executed under encoded context g.
+func (ct *ConflictTracker) Observe(instrID int, g Encoded) {
+	m := ct.perInstr[instrID]
+	if m == nil {
+		m = make(map[int]map[Encoded]struct{}, 2)
+		ct.perInstr[instrID] = m
+	}
+	slot := ct.slots.Slot(g)
+	set := m[slot]
+	if set == nil {
+		set = make(map[Encoded]struct{}, 2)
+		m[slot] = set
+	}
+	set[g] = struct{}{}
+}
+
+// CR returns the context conflict ratio for one instruction, per §4.1.
+// Instructions never observed have CR 0.
+func (ct *ConflictTracker) CR(instrID int) float64 {
+	m := ct.perInstr[instrID]
+	if len(m) == 0 {
+		return 0
+	}
+	maxDC, sumDC := 0, 0
+	for _, set := range m {
+		if len(set) > maxDC {
+			maxDC = len(set)
+		}
+		sumDC += len(set)
+	}
+	if maxDC <= 1 {
+		return 0
+	}
+	return float64(maxDC) / float64(sumDC)
+}
+
+// AverageCR returns the mean CR over all instructions that were observed at
+// least once (the "average CR for all instructions in Gcost" of Table 1).
+func (ct *ConflictTracker) AverageCR() float64 {
+	sum, n := 0.0, 0
+	for id := range ct.perInstr {
+		if len(ct.perInstr[id]) == 0 {
+			continue
+		}
+		sum += ct.CR(id)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// DistinctContexts returns the total number of distinct (instruction,
+// context) pairs observed — an upper bound on what an unbounded
+// context-sensitive analysis would have to store.
+func (ct *ConflictTracker) DistinctContexts() int {
+	total := 0
+	for _, m := range ct.perInstr {
+		for _, set := range m {
+			total += len(set)
+		}
+	}
+	return total
+}

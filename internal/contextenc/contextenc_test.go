@@ -1,0 +1,134 @@
+package contextenc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtendDeterministicAndOrderSensitive(t *testing.T) {
+	a := Extend(Extend(EmptyContext, 1), 2)
+	b := Extend(Extend(EmptyContext, 2), 1)
+	if a == b {
+		t.Error("encoding must be order-sensitive")
+	}
+	if a != Extend(Extend(EmptyContext, 1), 2) {
+		t.Error("encoding must be deterministic")
+	}
+}
+
+func TestExtendDistinguishesSiteZero(t *testing.T) {
+	if Extend(EmptyContext, 0) == EmptyContext {
+		t.Error("extending with site 0 must differ from the empty chain")
+	}
+}
+
+// Property: the Bond–McKinley recurrence g' = 3g + o (with the +1 offset)
+// is injective per step: same prefix + different site → different encoding.
+func TestExtendStepInjective(t *testing.T) {
+	f := func(prefix uint32, s1, s2 uint16) bool {
+		g := Encoded(prefix)
+		if s1 == s2 {
+			return true
+		}
+		return Extend(g, int(s1)) != Extend(g, int(s2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotsInRange(t *testing.T) {
+	f := func(g uint64, s uint8) bool {
+		slots := NewSlots(int(s%31) + 1)
+		slot := slots.Slot(Encoded(g))
+		return slot >= 0 && slot < slots.S
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSlotsPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSlots(0) must panic")
+		}
+	}()
+	NewSlots(0)
+}
+
+func TestCRDefinition(t *testing.T) {
+	// Paper: CR = 0 if every slot holds at most one distinct context;
+	// otherwise max(dc)/sum(dc).
+	ct := NewConflictTracker(NewSlots(4), 3)
+
+	// Instruction 0: two contexts in different slots → CR 0.
+	ct.Observe(0, Encoded(1)) // slot 1
+	ct.Observe(0, Encoded(2)) // slot 2
+	if cr := ct.CR(0); cr != 0 {
+		t.Errorf("CR = %v, want 0", cr)
+	}
+
+	// Instruction 1: three contexts, two colliding in slot 1 → 2/3.
+	ct.Observe(1, Encoded(1)) // slot 1
+	ct.Observe(1, Encoded(5)) // slot 1
+	ct.Observe(1, Encoded(2)) // slot 2
+	if cr := ct.CR(1); cr < 0.66 || cr > 0.67 {
+		t.Errorf("CR = %v, want 2/3", cr)
+	}
+
+	// Instruction 2 never observed → CR 0, excluded from average.
+	if cr := ct.CR(2); cr != 0 {
+		t.Errorf("CR unobserved = %v, want 0", cr)
+	}
+
+	avg := ct.AverageCR()
+	want := (0.0 + 2.0/3.0) / 2
+	if avg < want-1e-9 || avg > want+1e-9 {
+		t.Errorf("AverageCR = %v, want %v", avg, want)
+	}
+	if ct.DistinctContexts() != 5 {
+		t.Errorf("DistinctContexts = %d, want 5", ct.DistinctContexts())
+	}
+}
+
+func TestCRDuplicateObservationsDontInflate(t *testing.T) {
+	ct := NewConflictTracker(NewSlots(4), 1)
+	for i := 0; i < 100; i++ {
+		ct.Observe(0, Encoded(1))
+	}
+	if cr := ct.CR(0); cr != 0 {
+		t.Errorf("CR after duplicates = %v, want 0", cr)
+	}
+}
+
+// Property: CR is always in [0, 1].
+func TestCRRangeProperty(t *testing.T) {
+	f := func(obs []uint16) bool {
+		ct := NewConflictTracker(NewSlots(8), 1)
+		for _, o := range obs {
+			ct.Observe(0, Encoded(o))
+		}
+		cr := ct.CR(0)
+		return cr >= 0 && cr <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a single slot and ≥2 distinct contexts, CR is exactly 1.
+func TestCRSingleSlotProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		if a == b {
+			return true
+		}
+		ct := NewConflictTracker(NewSlots(1), 1)
+		ct.Observe(0, Encoded(a))
+		ct.Observe(0, Encoded(b))
+		return ct.CR(0) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,387 @@
+// Package depgraph implements the abstract thin data dependence graph of the
+// paper (Definition 2) and the traversals the cost-benefit analyses and
+// client analyses run over it.
+//
+// A node is a static instruction annotated with an element d of a bounded
+// abstract domain D; for the cost-benefit client, d is the encoded
+// object-context slot h(c) ∈ [0, s). Other clients reuse the same graph
+// structure with their own domains (null/not-null, typestate, copy origins),
+// and the unabstracted baseline uses the occurrence index itself — which is
+// exactly what makes it unbounded.
+//
+// Edges are stored in the def-use orientation used by the inference rules of
+// Figure 4: an edge a → b ("a depends on b") means an instance of a read a
+// location whose last writer was an instance of b. Both directions are kept
+// so that cost (backward) and benefit (forward) traversals are linear.
+package depgraph
+
+import (
+	"fmt"
+
+	"lowutil/internal/ir"
+)
+
+// NoContext is the D value of consumer (predicate/native) nodes, which the
+// paper leaves context-free.
+const NoContext = -1
+
+// ElemField is the pseudo field ID for array element locations (the paper's
+// O.ELM).
+const ElemField = -1
+
+// EffectKind classifies a node's heap effect.
+type EffectKind uint8
+
+const (
+	// EffNone: the node touches no heap location.
+	EffNone EffectKind = iota
+	// EffAlloc: the node allocates an object ("underlined", type U).
+	EffAlloc
+	// EffLoad: the node reads a heap location ("circled", type C).
+	EffLoad
+	// EffStore: the node writes a heap location ("boxed", type B).
+	EffStore
+)
+
+func (e EffectKind) String() string {
+	switch e {
+	case EffAlloc:
+		return "U"
+	case EffLoad:
+		return "C"
+	case EffStore:
+		return "B"
+	default:
+		return "-"
+	}
+}
+
+// Loc identifies an abstract heap location O^d.f: the allocation node of the
+// base object plus a field. Alloc == nil means a static field, with Field
+// holding the static slot. Field == ElemField means the array-element
+// pseudo-field.
+type Loc struct {
+	Alloc *Node
+	Field int
+}
+
+func (l Loc) String() string {
+	switch {
+	case l.Alloc == nil:
+		return fmt.Sprintf("static#%d", l.Field)
+	case l.Field == ElemField:
+		return l.Alloc.String() + ".ELM"
+	default:
+		return fmt.Sprintf("%s.f%d", l.Alloc, l.Field)
+	}
+}
+
+// Node is an abstract instruction instance: a static instruction annotated
+// with an abstract-domain element.
+type Node struct {
+	In *ir.Instr
+	// D is the abstract-domain element (context slot for Gcost).
+	D int
+	// Freq is the number of concrete instruction instances mapped here.
+	Freq int64
+
+	// Eff describes the node's heap effect; EffLoc is the location touched
+	// (meaningful for EffLoad/EffStore; for EffAlloc, EffLoc.Alloc is the
+	// node itself).
+	Eff    EffectKind
+	EffLoc Loc
+
+	deps map[*Node]struct{} // this node uses values defined by these
+	uses map[*Node]struct{} // these nodes use values defined by this
+	refs map[*Node]struct{} // reference edges: store node → base alloc node
+}
+
+// IsConsumer reports whether the node is a predicate or native consumer.
+func (n *Node) IsConsumer() bool { return n.In.IsConsumer() }
+
+// IsPredicate reports whether the node is a predicate consumer.
+func (n *Node) IsPredicate() bool { return n.In.IsPredicate() }
+
+// ReadsHeap reports whether the node reads a static or object field or
+// array element.
+func (n *Node) ReadsHeap() bool { return n.Eff == EffLoad }
+
+// WritesHeap reports whether the node writes one.
+func (n *Node) WritesHeap() bool { return n.Eff == EffStore }
+
+// NumDeps returns the backward (use→def) degree.
+func (n *Node) NumDeps() int { return len(n.deps) }
+
+// NumUses returns the forward (def→use) degree.
+func (n *Node) NumUses() int { return len(n.uses) }
+
+// Deps calls f for every node this node depends on.
+func (n *Node) Deps(f func(*Node)) {
+	for d := range n.deps {
+		f(d)
+	}
+}
+
+// Uses calls f for every node that uses this node's values.
+func (n *Node) Uses(f func(*Node)) {
+	for u := range n.uses {
+		f(u)
+	}
+}
+
+// RefEdges calls f for every reference edge out of this (store) node.
+func (n *Node) RefEdges(f func(*Node)) {
+	for r := range n.refs {
+		f(r)
+	}
+}
+
+func (n *Node) String() string {
+	if n.D == NoContext {
+		return fmt.Sprintf("i%d°", n.In.ID)
+	}
+	return fmt.Sprintf("i%d^%d", n.In.ID, n.D)
+}
+
+type nodeKey struct {
+	instr int
+	d     int
+}
+
+// Graph is a dependence graph under construction or analysis.
+type Graph struct {
+	Prog  *ir.Program
+	nodes map[nodeKey]*Node
+	// edge counters (deduplicated)
+	numDep int
+	numRef int
+
+	// ptChildren records points-to structure for reference trees: for a
+	// location (owner alloc node, field) holding references, the set of
+	// allocation nodes of objects stored there.
+	ptChildren map[Loc]map[*Node]struct{}
+
+	// locStores and locLoads invert the heap-effect environment H: for each
+	// abstract location, the store nodes that wrote it and the load nodes
+	// that read it. RAC/RAB aggregation runs over these.
+	locStores map[Loc]map[*Node]struct{}
+	locLoads  map[Loc]map[*Node]struct{}
+	// locsByOwner indexes locations by their owning allocation node so
+	// object-level aggregation does not scan every location.
+	locsByOwner map[*Node]map[int]struct{}
+}
+
+// New returns an empty graph over prog.
+func New(prog *ir.Program) *Graph {
+	return &Graph{
+		Prog:        prog,
+		nodes:       make(map[nodeKey]*Node),
+		ptChildren:  make(map[Loc]map[*Node]struct{}),
+		locStores:   make(map[Loc]map[*Node]struct{}),
+		locLoads:    make(map[Loc]map[*Node]struct{}),
+		locsByOwner: make(map[*Node]map[int]struct{}),
+	}
+}
+
+// NumNodes returns the number of nodes (|V| of Table 1's #N column).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumDepEdges returns the number of distinct def-use edges (#E).
+func (g *Graph) NumDepEdges() int { return g.numDep }
+
+// NumRefEdges returns the number of distinct reference edges.
+func (g *Graph) NumRefEdges() int { return g.numRef }
+
+// Node returns the node for (in, d), creating it if needed. It does not
+// touch Freq; call Touch for that.
+func (g *Graph) Node(in *ir.Instr, d int) *Node {
+	k := nodeKey{in.ID, d}
+	if n, ok := g.nodes[k]; ok {
+		return n
+	}
+	n := &Node{In: in, D: d}
+	g.nodes[k] = n
+	return n
+}
+
+// Lookup returns the node for (in, d) or nil.
+func (g *Graph) Lookup(in *ir.Instr, d int) *Node {
+	return g.nodes[nodeKey{in.ID, d}]
+}
+
+// Touch increments the node's frequency and returns it.
+func (g *Graph) Touch(in *ir.Instr, d int) *Node {
+	n := g.Node(in, d)
+	n.Freq++
+	return n
+}
+
+// AddDep records that 'from' used a value defined by 'to'. Self-loops
+// (an instruction instance reading its own previous output) are kept: they
+// occur naturally for accumulators under abstraction.
+func (g *Graph) AddDep(from, to *Node) {
+	if from == nil || to == nil {
+		return
+	}
+	if from.deps == nil {
+		from.deps = make(map[*Node]struct{}, 4)
+	}
+	if _, dup := from.deps[to]; dup {
+		return
+	}
+	from.deps[to] = struct{}{}
+	if to.uses == nil {
+		to.uses = make(map[*Node]struct{}, 4)
+	}
+	to.uses[from] = struct{}{}
+	g.numDep++
+}
+
+// AddRef records a reference edge from a field-store node to the allocation
+// node of the base object.
+func (g *Graph) AddRef(store, alloc *Node) {
+	if store == nil || alloc == nil {
+		return
+	}
+	if store.refs == nil {
+		store.refs = make(map[*Node]struct{}, 2)
+	}
+	if _, dup := store.refs[alloc]; dup {
+		return
+	}
+	store.refs[alloc] = struct{}{}
+	g.numRef++
+}
+
+// AddLocStore records that node n wrote abstract location loc.
+func (g *Graph) AddLocStore(loc Loc, n *Node) {
+	addToLocSet(g.locStores, loc, n)
+	g.indexLoc(loc)
+}
+
+// AddLocLoad records that node n read abstract location loc.
+func (g *Graph) AddLocLoad(loc Loc, n *Node) {
+	addToLocSet(g.locLoads, loc, n)
+	g.indexLoc(loc)
+}
+
+func addToLocSet(m map[Loc]map[*Node]struct{}, loc Loc, n *Node) {
+	set := m[loc]
+	if set == nil {
+		set = make(map[*Node]struct{}, 2)
+		m[loc] = set
+	}
+	set[n] = struct{}{}
+}
+
+func (g *Graph) indexLoc(loc Loc) {
+	if loc.Alloc == nil {
+		return
+	}
+	fields := g.locsByOwner[loc.Alloc]
+	if fields == nil {
+		fields = make(map[int]struct{}, 4)
+		g.locsByOwner[loc.Alloc] = fields
+	}
+	fields[loc.Field] = struct{}{}
+}
+
+// StoresOf calls f for every store node recorded for loc.
+func (g *Graph) StoresOf(loc Loc, f func(*Node)) {
+	for n := range g.locStores[loc] {
+		f(n)
+	}
+}
+
+// LoadsOf calls f for every load node recorded for loc.
+func (g *Graph) LoadsOf(loc Loc, f func(*Node)) {
+	for n := range g.locLoads[loc] {
+		f(n)
+	}
+}
+
+// FieldsOf calls f for every field (including ElemField) of objects
+// allocated at owner that was ever loaded or stored.
+func (g *Graph) FieldsOf(owner *Node, f func(field int)) {
+	for field := range g.locsByOwner[owner] {
+		f(field)
+	}
+}
+
+// Locs calls f for every abstract location that was ever loaded or stored.
+func (g *Graph) Locs(f func(Loc)) {
+	seen := make(map[Loc]struct{}, len(g.locStores)+len(g.locLoads))
+	for loc := range g.locStores {
+		seen[loc] = struct{}{}
+		f(loc)
+	}
+	for loc := range g.locLoads {
+		if _, dup := seen[loc]; !dup {
+			f(loc)
+		}
+	}
+}
+
+// AddChild records that location loc held a reference to an object allocated
+// at child (a points-to edge used to build object reference trees).
+func (g *Graph) AddChild(loc Loc, child *Node) {
+	if child == nil {
+		return
+	}
+	set := g.ptChildren[loc]
+	if set == nil {
+		set = make(map[*Node]struct{}, 2)
+		g.ptChildren[loc] = set
+	}
+	set[child] = struct{}{}
+}
+
+// Children calls f for every (field, child allocation node) pair recorded
+// for objects allocated at owner.
+func (g *Graph) Children(owner *Node, f func(field int, child *Node)) {
+	for loc, set := range g.ptChildren {
+		if loc.Alloc != owner {
+			continue
+		}
+		for c := range set {
+			f(loc.Field, c)
+		}
+	}
+}
+
+// Nodes calls f for every node in the graph (unspecified order).
+func (g *Graph) Nodes(f func(*Node)) {
+	for _, n := range g.nodes {
+		f(n)
+	}
+}
+
+// NodesOf returns all nodes of a given static instruction.
+func (g *Graph) NodesOf(in *ir.Instr) []*Node {
+	var out []*Node
+	for k, n := range g.nodes {
+		if k.instr == in.ID {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TotalFreq sums node frequencies — the number of concrete instruction
+// instances that created dependence-graph activity.
+func (g *Graph) TotalFreq() int64 {
+	var t int64
+	for _, n := range g.nodes {
+		t += n.Freq
+	}
+	return t
+}
+
+// ApproxBytes estimates the memory footprint of the graph in bytes, the
+// analogue of Table 1's M(Mb) column: node records plus deduplicated edge
+// entries (dep edges are stored in both directions).
+func (g *Graph) ApproxBytes() int64 {
+	const nodeBytes = 96 // Node struct + map headers, amortized
+	const edgeBytes = 16 // one map entry per direction ≈ 2×8
+	return int64(len(g.nodes))*nodeBytes + int64(g.numDep)*2*edgeBytes + int64(g.numRef)*edgeBytes
+}

@@ -1,0 +1,90 @@
+package depgraph
+
+// SCC computes the strongly connected components of the graph over the
+// def→use (forward value-flow) direction using an iterative Tarjan
+// algorithm, and returns the condensation: components in reverse
+// topological order (every edge goes from a later component to an earlier
+// one in the returned slice), plus the component index of each node.
+//
+// The deadness analysis (IPD/IPP/NLD) runs outcome propagation over this
+// condensation.
+func (g *Graph) SCC() (comps [][]*Node, compOf map[*Node]int) {
+	const unvisited = 0
+	index := make(map[*Node]int32, len(g.nodes))
+	low := make(map[*Node]int32, len(g.nodes))
+	onStack := make(map[*Node]bool, len(g.nodes))
+	var stack []*Node
+	compOf = make(map[*Node]int, len(g.nodes))
+	next := int32(1)
+
+	type frame struct {
+		n    *Node
+		succ []*Node
+		i    int
+	}
+
+	succsOf := func(n *Node) []*Node {
+		out := make([]*Node, 0, len(n.uses))
+		for u := range n.uses {
+			out = append(out, u)
+		}
+		return out
+	}
+
+	for _, root := range g.nodes {
+		if index[root] != unvisited {
+			continue
+		}
+		work := []frame{{n: root, succ: succsOf(root)}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.i < len(f.succ) {
+				s := f.succ[f.i]
+				f.i++
+				if index[s] == unvisited {
+					index[s] = next
+					low[s] = next
+					next++
+					stack = append(stack, s)
+					onStack[s] = true
+					work = append(work, frame{n: s, succ: succsOf(s)})
+				} else if onStack[s] {
+					if index[s] < low[f.n] {
+						low[f.n] = index[s]
+					}
+				}
+				continue
+			}
+			// f.n finished.
+			n := f.n
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].n
+				if low[n] < low[parent] {
+					low[parent] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var comp []*Node
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					compOf[top] = len(comps)
+					comp = append(comp, top)
+					if top == n {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps, compOf
+}

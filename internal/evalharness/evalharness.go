@@ -1,0 +1,386 @@
+// Package evalharness regenerates the paper's evaluation artifacts: Table 1
+// (graph characteristics, tool overhead, context conflict ratios, and the
+// dead-value measurements IPD/IPP/NLD over the 18 DaCapo-alike workloads),
+// the phase-restricted-tracking overhead-reduction experiment, and the §3.2
+// design-choice ablations (thin vs. traditional slicing, abstract vs.
+// unabstracted graphs).
+package evalharness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lowutil/internal/deadness"
+	"lowutil/internal/depgraph"
+	"lowutil/internal/interp"
+	"lowutil/internal/profiler"
+	"lowutil/internal/workloads"
+)
+
+// SlotResult holds the Table 1 columns for one (workload, s) pair.
+type SlotResult struct {
+	S        int
+	Nodes    int
+	DepEdges int
+	RefEdges int
+	MemBytes int64
+	Overhead float64 // profiled wall-clock / baseline wall-clock
+	CR       float64
+}
+
+// Row is one Table 1 row.
+type Row struct {
+	Name  string
+	Scale int
+
+	// Steps is #I — executed instruction instances in the baseline run.
+	Steps    int64
+	Allocs   int64
+	BaseTime time.Duration
+	BySlots  []SlotResult
+
+	// Part (c), computed on the largest-s graph.
+	IPD float64
+	IPP float64
+	NLD float64
+}
+
+// Options configures the harness.
+type Options struct {
+	// Scale is the workload scale factor (1 for tests, larger for reports).
+	Scale int
+	// Slots lists the context-slot settings to measure (paper: 8 and 16).
+	Slots []int
+	// Only restricts to the named workloads (nil = all 18).
+	Only []string
+	// Progress, if non-nil, receives a line per workload.
+	Progress io.Writer
+}
+
+func (o *Options) defaults() {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if len(o.Slots) == 0 {
+		o.Slots = []int{8, 16}
+	}
+}
+
+// Table1 runs the full experiment and returns one row per workload.
+func Table1(opts Options) ([]*Row, error) {
+	opts.defaults()
+	var list []*workloads.Workload
+	if len(opts.Only) == 0 {
+		list = workloads.All()
+	} else {
+		for _, name := range opts.Only {
+			w := workloads.ByName(name)
+			if w == nil {
+				return nil, fmt.Errorf("evalharness: unknown workload %q", name)
+			}
+			list = append(list, w)
+		}
+	}
+
+	var rows []*Row
+	for _, w := range list {
+		row, err := runOne(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-11s I=%-10d N=%-7d E=%-8d O=%.1fx IPD=%.1f%% IPP=%.1f%% NLD=%.1f%%\n",
+				row.Name, row.Steps, row.BySlots[len(row.BySlots)-1].Nodes,
+				row.BySlots[len(row.BySlots)-1].DepEdges,
+				row.BySlots[len(row.BySlots)-1].Overhead, row.IPD, row.IPP, row.NLD)
+		}
+	}
+	return rows, nil
+}
+
+func runOne(w *workloads.Workload, opts Options) (*Row, error) {
+	prog, err := w.Compile(opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+
+	// Baseline (uninstrumented), best of 3 to stabilize the overhead ratio.
+	var base time.Duration
+	var steps, allocs int64
+	for i := 0; i < 3; i++ {
+		m := interp.New(prog)
+		start := time.Now()
+		if err := m.Run(); err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", w.Name, err)
+		}
+		d := time.Since(start)
+		if i == 0 || d < base {
+			base = d
+		}
+		steps, allocs = m.Steps, m.Allocs
+	}
+	if base <= 0 {
+		base = time.Nanosecond
+	}
+
+	row := &Row{Name: w.Name, Scale: opts.Scale, Steps: steps, Allocs: allocs, BaseTime: base}
+
+	var lastGraph *depgraph.Graph
+	var lastSteps int64
+	for _, s := range opts.Slots {
+		p := profiler.New(prog, profiler.Options{Slots: s, TrackCR: true})
+		m := interp.New(prog)
+		m.Tracer = p
+		start := time.Now()
+		if err := m.Run(); err != nil {
+			return nil, fmt.Errorf("%s profiled s=%d: %w", w.Name, s, err)
+		}
+		elapsed := time.Since(start)
+		row.BySlots = append(row.BySlots, SlotResult{
+			S:        s,
+			Nodes:    p.G.NumNodes(),
+			DepEdges: p.G.NumDepEdges(),
+			RefEdges: p.G.NumRefEdges(),
+			MemBytes: p.G.ApproxBytes(),
+			Overhead: float64(elapsed) / float64(base),
+			CR:       p.CR().AverageCR(),
+		})
+		lastGraph = p.G
+		lastSteps = m.Steps
+	}
+
+	dead := deadness.Analyze(lastGraph, lastSteps)
+	row.IPD = dead.IPD()
+	row.IPP = dead.IPP()
+	row.NLD = dead.NLD()
+	return row, nil
+}
+
+// Format renders rows in the paper's Table 1 layout.
+func Format(rows []*Row, out io.Writer) {
+	if len(rows) == 0 {
+		return
+	}
+	for _, sr := range rows[0].BySlots {
+		fmt.Fprintf(out, "---- s = %d ----\n", sr.S)
+		fmt.Fprintf(out, "%-11s %9s %9s %8s %7s %7s\n", "Program", "#N", "#E", "M(KB)", "O(x)", "CR")
+		for _, r := range rows {
+			var this *SlotResult
+			for i := range r.BySlots {
+				if r.BySlots[i].S == sr.S {
+					this = &r.BySlots[i]
+				}
+			}
+			if this == nil {
+				continue
+			}
+			fmt.Fprintf(out, "%-11s %9d %9d %8.1f %7.1f %7.3f\n",
+				r.Name, this.Nodes, this.DepEdges, float64(this.MemBytes)/1024, this.Overhead, this.CR)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "---- part (c): instruction instances and deadness ----\n")
+	fmt.Fprintf(out, "%-11s %12s %8s %8s %8s\n", "Program", "#I", "IPD(%)", "IPP(%)", "NLD(%)")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-11s %12d %8.1f %8.1f %8.1f\n", r.Name, r.Steps, r.IPD, r.IPP, r.NLD)
+	}
+}
+
+// ---- Phase-restricted tracking (§4.1 overhead discussion) ----
+
+// phaseGate wraps the profiler and enables it only for a fraction of the
+// run, approximating "tracking only the steady-state portion of a server's
+// run" with an instruction-count window.
+type phaseGate struct {
+	*profiler.Profiler
+	n      int64
+	lo, hi int64
+}
+
+// Exec implements interp.Tracer.
+func (g *phaseGate) Exec(ev *interp.Event) {
+	g.n++
+	if g.n == g.lo {
+		g.Profiler.SetEnabled(true)
+	}
+	if g.n == g.hi {
+		g.Profiler.SetEnabled(false)
+	}
+	g.Profiler.Exec(ev)
+}
+
+// PhaseResult reports the phase-restriction experiment for one workload.
+type PhaseResult struct {
+	Name          string
+	FullOverhead  float64
+	PhaseOverhead float64
+	// Reduction is FullOverhead / PhaseOverhead (paper: up to 10×).
+	Reduction  float64
+	FullNodes  int
+	PhaseNodes int
+}
+
+// PhaseExperiment profiles the workload twice — whole-program and restricted
+// to the middle fraction of the run — and reports the overhead reduction.
+func PhaseExperiment(name string, scale int, fraction float64) (*PhaseResult, error) {
+	w := workloads.ByName(name)
+	if w == nil {
+		return nil, fmt.Errorf("evalharness: unknown workload %q", name)
+	}
+	prog, err := w.Compile(scale)
+	if err != nil {
+		return nil, err
+	}
+
+	var base time.Duration
+	var steps int64
+	for i := 0; i < 3; i++ {
+		m := interp.New(prog)
+		start := time.Now()
+		if err := m.Run(); err != nil {
+			return nil, err
+		}
+		if d := time.Since(start); i == 0 || d < base {
+			base = d
+		}
+		steps = m.Steps
+	}
+	if base <= 0 {
+		base = time.Nanosecond
+	}
+
+	runProfiled := func(tracer interp.Tracer) (time.Duration, error) {
+		m := interp.New(prog)
+		m.Tracer = tracer
+		start := time.Now()
+		if err := m.Run(); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	full := profiler.New(prog, profiler.Options{Slots: 16})
+	fullTime, err := runProfiled(full)
+	if err != nil {
+		return nil, err
+	}
+
+	gatedP := profiler.New(prog, profiler.Options{Slots: 16})
+	gatedP.SetEnabled(false)
+	window := int64(float64(steps) * fraction)
+	lo := (steps - window) / 2
+	gate := &phaseGate{Profiler: gatedP, lo: lo, hi: lo + window}
+	gatedTime, err := runProfiled(gate)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PhaseResult{
+		Name:          name,
+		FullOverhead:  float64(fullTime) / float64(base),
+		PhaseOverhead: float64(gatedTime) / float64(base),
+		FullNodes:     full.G.NumNodes(),
+		PhaseNodes:    gatedP.G.NumNodes(),
+	}
+	if res.PhaseOverhead > 0 {
+		res.Reduction = res.FullOverhead / res.PhaseOverhead
+	}
+	return res, nil
+}
+
+// ---- §3.2 ablations ----
+
+// SlicingAblation compares thin and traditional slicing on one workload:
+// edge counts and total backward-slice weight from every heap-store node.
+type SlicingAblation struct {
+	Name             string
+	ThinEdges        int
+	TraditionalEdges int
+	ThinSliceNodes   int
+	TradSliceNodes   int
+}
+
+// ThinVsTraditional runs the ablation.
+func ThinVsTraditional(name string, scale int) (*SlicingAblation, error) {
+	w := workloads.ByName(name)
+	if w == nil {
+		return nil, fmt.Errorf("evalharness: unknown workload %q", name)
+	}
+	prog, err := w.Compile(scale)
+	if err != nil {
+		return nil, err
+	}
+	res := &SlicingAblation{Name: name}
+	for _, traditional := range []bool{false, true} {
+		p := profiler.New(prog, profiler.Options{Slots: 16, Traditional: traditional})
+		m := interp.New(prog)
+		m.Tracer = p
+		if err := m.Run(); err != nil {
+			return nil, err
+		}
+		total := 0
+		p.G.Nodes(func(n *depgraph.Node) {
+			if n.WritesHeap() {
+				total += len(depgraph.BackwardSlice(n))
+			}
+		})
+		if traditional {
+			res.TraditionalEdges = p.G.NumDepEdges()
+			res.TradSliceNodes = total
+		} else {
+			res.ThinEdges = p.G.NumDepEdges()
+			res.ThinSliceNodes = total
+		}
+	}
+	return res, nil
+}
+
+// AbstractionAblation compares the bounded abstract graph against the
+// unabstracted (per-instance) graph.
+type AbstractionAblation struct {
+	Name              string
+	Steps             int64
+	AbstractNodes     int
+	UnabstractedNodes int
+	AbstractBytes     int64
+	UnabstractedBytes int64
+}
+
+// AbstractVsConcrete runs the ablation. The unabstracted graph is capped to
+// keep the experiment tractable; the cap is reported through the node count
+// plateauing rather than by silent truncation of the workload.
+func AbstractVsConcrete(name string, scale int, capN int) (*AbstractionAblation, error) {
+	w := workloads.ByName(name)
+	if w == nil {
+		return nil, fmt.Errorf("evalharness: unknown workload %q", name)
+	}
+	prog, err := w.Compile(scale)
+	if err != nil {
+		return nil, err
+	}
+	res := &AbstractionAblation{Name: name}
+
+	pa := profiler.New(prog, profiler.Options{Slots: 16})
+	ma := interp.New(prog)
+	ma.Tracer = pa
+	if err := ma.Run(); err != nil {
+		return nil, err
+	}
+	res.Steps = ma.Steps
+	res.AbstractNodes = pa.G.NumNodes()
+	res.AbstractBytes = pa.G.ApproxBytes()
+
+	pu := profiler.New(prog, profiler.Options{Unabstracted: true, UnabstractedCap: capN})
+	mu := interp.New(prog)
+	mu.Tracer = pu
+	if err := mu.Run(); err != nil {
+		return nil, err
+	}
+	res.UnabstractedNodes = pu.G.NumNodes()
+	res.UnabstractedBytes = pu.G.ApproxBytes()
+	return res, nil
+}
+
+var _ interp.Tracer = (*phaseGate)(nil)

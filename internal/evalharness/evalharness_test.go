@@ -1,0 +1,117 @@
+package evalharness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable1SmallSubset(t *testing.T) {
+	rows, err := Table1(Options{Scale: 1, Slots: []int{8, 16}, Only: []string{"chart", "fop", "bloat"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byName := map[string]*Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Steps < 1000 {
+			t.Errorf("%s: too few steps (%d)", r.Name, r.Steps)
+		}
+		if len(r.BySlots) != 2 {
+			t.Fatalf("%s: slot results = %d", r.Name, len(r.BySlots))
+		}
+		for _, sr := range r.BySlots {
+			if sr.Nodes <= 0 || sr.DepEdges <= 0 {
+				t.Errorf("%s s=%d: empty graph", r.Name, sr.S)
+			}
+			if sr.Overhead <= 1 {
+				t.Errorf("%s s=%d: overhead %.2f must exceed 1x", r.Name, sr.S, sr.Overhead)
+			}
+			if sr.CR < 0 || sr.CR > 1 {
+				t.Errorf("%s s=%d: CR out of range: %v", r.Name, sr.S, sr.CR)
+			}
+			// The central scalability claim: the graph is orders of
+			// magnitude smaller than the trace.
+			if int64(sr.Nodes) > r.Steps/10 {
+				t.Errorf("%s s=%d: %d nodes vs %d instances — not compact",
+					r.Name, sr.S, sr.Nodes, r.Steps)
+			}
+		}
+		// s=16 admits at least as many nodes as s=8.
+		if r.BySlots[1].Nodes < r.BySlots[0].Nodes {
+			t.Errorf("%s: nodes shrank when s grew: %d → %d",
+				r.Name, r.BySlots[0].Nodes, r.BySlots[1].Nodes)
+		}
+	}
+	// Shape: bloat and chart out-IPD fop.
+	if byName["bloat"].IPD <= byName["fop"].IPD || byName["chart"].IPD <= byName["fop"].IPD {
+		t.Errorf("IPD shape wrong: bloat=%.1f chart=%.1f fop=%.1f",
+			byName["bloat"].IPD, byName["chart"].IPD, byName["fop"].IPD)
+	}
+
+	var buf bytes.Buffer
+	Format(rows, &buf)
+	out := buf.String()
+	for _, frag := range []string{"s = 8", "s = 16", "part (c)", "chart", "IPD"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("formatted table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable1UnknownWorkload(t *testing.T) {
+	if _, err := Table1(Options{Only: []string{"nope"}}); err == nil {
+		t.Fatal("want unknown-workload error")
+	}
+}
+
+func TestPhaseExperimentReducesOverhead(t *testing.T) {
+	res, err := PhaseExperiment("tradebeans", 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reduction <= 1 {
+		t.Errorf("phase restriction should reduce overhead: full=%.1fx phase=%.1fx",
+			res.FullOverhead, res.PhaseOverhead)
+	}
+	if res.PhaseNodes >= res.FullNodes {
+		t.Errorf("phase graph (%d nodes) should be smaller than full (%d)",
+			res.PhaseNodes, res.FullNodes)
+	}
+	if res.PhaseNodes == 0 {
+		t.Error("phase graph empty: the window never enabled tracking")
+	}
+}
+
+func TestThinVsTraditionalAblation(t *testing.T) {
+	res, err := ThinVsTraditional("xalan", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraditionalEdges <= res.ThinEdges {
+		t.Errorf("traditional edges (%d) should exceed thin (%d)",
+			res.TraditionalEdges, res.ThinEdges)
+	}
+	if res.TradSliceNodes < res.ThinSliceNodes {
+		t.Errorf("traditional slices (%d) should be at least as large as thin (%d)",
+			res.TradSliceNodes, res.ThinSliceNodes)
+	}
+}
+
+func TestAbstractVsConcreteAblation(t *testing.T) {
+	res, err := AbstractVsConcrete("chart", 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnabstractedNodes <= 2*res.AbstractNodes {
+		t.Errorf("unabstracted graph (%d nodes) should dwarf abstract (%d)",
+			res.UnabstractedNodes, res.AbstractNodes)
+	}
+	if res.UnabstractedBytes <= res.AbstractBytes {
+		t.Errorf("unabstracted memory (%d) should exceed abstract (%d)",
+			res.UnabstractedBytes, res.AbstractBytes)
+	}
+}

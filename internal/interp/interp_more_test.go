@@ -1,0 +1,299 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lowutil/internal/ir"
+)
+
+func TestValueStrings(t *testing.T) {
+	if Null.String() != "null" {
+		t.Errorf("Null = %q", Null.String())
+	}
+	if IntVal(-7).String() != "-7" {
+		t.Errorf("IntVal = %q", IntVal(-7).String())
+	}
+	o := &Object{Class: &ir.Class{Name: "Foo"}, Seq: 3}
+	if got := RefVal(o).String(); !strings.Contains(got, "Foo") {
+		t.Errorf("RefVal = %q", got)
+	}
+	arr := &Object{Elems: make([]Value, 2), ElemT: ir.IntType, Seq: 4}
+	if got := arr.String(); !strings.Contains(got, "int[2]") {
+		t.Errorf("array String = %q", got)
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{IntVal(0), false},
+		{IntVal(1), true},
+		{IntVal(-1), true},
+		{Null, false},
+		{RefVal(&Object{}), true},
+	}
+	for _, c := range cases {
+		if c.v.Truthy() != c.want {
+			t.Errorf("Truthy(%v) = %v", c.v, !c.want)
+		}
+	}
+}
+
+func TestRefIntComparisonTolerated(t *testing.T) {
+	// Hand-built IR comparing a ref against an int: Eq is false, Ne true.
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.New(0, cls)
+	mb.Const(1, 0)
+	br := mb.If(0, ir.Eq, 1, -1)
+	mb.Native(-1, ir.NativePrint, 1) // prints 0: not taken path
+	mb.Patch(br, mb.PC())
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(vm.Output) != 1 {
+		t.Errorf("ref==int should be false (fall through): output %v", vm.Output)
+	}
+}
+
+func TestOrderedRefComparisonRejected(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.New(0, cls)
+	mb.New(1, cls)
+	mb.If(0, ir.Lt, 1, 3)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	var vmErr *VMError
+	if err := vm.Run(); !errors.As(err, &vmErr) || vmErr.Kind != ErrType {
+		t.Fatalf("want type error, got %v", err)
+	}
+}
+
+func TestArithmeticOnRefRejected(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.New(0, cls)
+	mb.Const(1, 1)
+	mb.Bin(2, ir.Add, 0, 1)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	var vmErr *VMError
+	if err := vm.Run(); !errors.As(err, &vmErr) || vmErr.Kind != ErrType {
+		t.Fatalf("want type error, got %v", err)
+	}
+}
+
+func TestNegativeArrayLength(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, -3)
+	mb.NewArray(1, ir.IntType, 0)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	var vmErr *VMError
+	if err := vm.Run(); !errors.As(err, &vmErr) || vmErr.Kind != ErrBounds {
+		t.Fatalf("want bounds error, got %v", err)
+	}
+}
+
+func TestCallOnNullReceiverNamesMethod(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	foo := bd.Method(cls, "foo", false, 1, ir.IntType)
+	fb := bd.Body(foo)
+	fb.Const(1, 1)
+	fb.Return(1)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Null(0)
+	mb.Call(1, foo, 0)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	err = vm.Run()
+	var vmErr *VMError
+	if !errors.As(err, &vmErr) || vmErr.Kind != ErrNullDeref {
+		t.Fatalf("want null deref, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "Main.foo") {
+		t.Errorf("error should name the callee: %v", err)
+	}
+}
+
+func TestVMErrorFormat(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	fx := bd.Field(cls, "x", ir.IntType)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Null(0)
+	mb.LoadField(1, 0, fx)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	err = vm.Run()
+	msg := err.Error()
+	for _, frag := range []string{"null dereference", "Main.main", "pc 1"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error %q missing %q", msg, frag)
+		}
+	}
+}
+
+func TestNopTracerDoesNotPerturb(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 21)
+	mb.Const(1, 2)
+	mb.Bin(2, ir.Mul, 0, 1)
+	mb.Native(-1, ir.NativePrint, 2)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New(prog)
+	if err := plain.Run(); err != nil {
+		t.Fatal(err)
+	}
+	traced := New(prog)
+	traced.Tracer = NopTracer{}
+	if err := traced.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Steps != traced.Steps || plain.Output[0] != traced.Output[0] {
+		t.Error("NopTracer perturbed execution")
+	}
+}
+
+func TestNativeTimeMonotonic(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Native(0, ir.NativeTime)
+	mb.Native(1, ir.NativeTime)
+	mb.Native(2, ir.NativeTime)
+	mb.Native(-1, ir.NativePrint, 0)
+	mb.Native(-1, ir.NativePrint, 1)
+	mb.Native(-1, ir.NativePrint, 2)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !(vm.Output[0] < vm.Output[1] && vm.Output[1] < vm.Output[2]) {
+		t.Errorf("time not monotonic: %v", vm.Output)
+	}
+}
+
+func TestCallMethodArgCount(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	id := bd.Method(cls, "id", true, 1, ir.IntType)
+	ib := bd.Body(id)
+	ib.Return(0)
+	m := bd.Method(cls, "main", true, 0, nil)
+	bd.Body(m).ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	if _, err := vm.CallMethod(id); err == nil {
+		t.Error("want arg-count error")
+	}
+	got, err := vm.CallMethod(id, IntVal(5))
+	if err != nil || got.I != 5 {
+		t.Errorf("CallMethod = %v, %v", got, err)
+	}
+}
+
+// depthTracer records the maximum observed call depth.
+type depthTracer struct {
+	NopTracer
+	m   *Machine
+	max int
+}
+
+func (d *depthTracer) EnterMethod(fr *Frame, recv *Object) {
+	if depth := d.m.Depth(); depth > d.max {
+		d.max = depth
+	}
+}
+
+func TestDepthVisibleToTracers(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	rec := bd.Method(cls, "rec", true, 1, ir.IntType)
+	rb := bd.Body(rec)
+	rb.Const(1, 0)
+	br := rb.If(0, ir.Gt, 1, -1)
+	rb.Return(0)
+	rb.Patch(br, rb.PC())
+	rb.Const(2, 1)
+	rb.Bin(3, ir.Sub, 0, 2)
+	rb.Call(4, rec, 3)
+	rb.Return(4)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 5)
+	mb.Call(1, rec, 0)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	dt := &depthTracer{m: vm}
+	vm.Tracer = dt
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dt.max < 6 { // main + rec(5..0) shares at least 6 levels
+		t.Errorf("max depth = %d, want >= 6", dt.max)
+	}
+}

@@ -1,0 +1,491 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lowutil/internal/ir"
+)
+
+// buildExpr builds a one-method program: main computes `a <op> b` over two
+// constants and prints the result.
+func buildExpr(t *testing.T, op ir.BinOp, a, b int64) *ir.Program {
+	t.Helper()
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, a)
+	mb.Const(1, b)
+	mb.Bin(2, op, 0, 1)
+	mb.Native(-1, ir.NativePrint, 2)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runOutput(t *testing.T, prog *ir.Program) []int64 {
+	t.Helper()
+	m := New(prog)
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m.Output
+}
+
+// Property: machine arithmetic matches Go semantics for every operator.
+func TestArithmeticMatchesGo(t *testing.T) {
+	ops := []struct {
+		op ir.BinOp
+		f  func(a, b int64) (int64, bool)
+	}{
+		{ir.Add, func(a, b int64) (int64, bool) { return a + b, true }},
+		{ir.Sub, func(a, b int64) (int64, bool) { return a - b, true }},
+		{ir.Mul, func(a, b int64) (int64, bool) { return a * b, true }},
+		{ir.Div, func(a, b int64) (int64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		}},
+		{ir.Rem, func(a, b int64) (int64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		}},
+		{ir.And, func(a, b int64) (int64, bool) { return a & b, true }},
+		{ir.Or, func(a, b int64) (int64, bool) { return a | b, true }},
+		{ir.Xor, func(a, b int64) (int64, bool) { return a ^ b, true }},
+		{ir.Shl, func(a, b int64) (int64, bool) { return a << (uint64(b) & 63), true }},
+		{ir.Shr, func(a, b int64) (int64, bool) { return a >> (uint64(b) & 63), true }},
+	}
+	for _, op := range ops {
+		op := op
+		f := func(a, b int64) bool {
+			want, defined := op.f(a, b)
+			prog := buildExpr(t, op.op, a, b)
+			m := New(prog)
+			err := m.Run()
+			if !defined {
+				var vmErr *VMError
+				return errors.As(err, &vmErr) && vmErr.Kind == ErrDivZero
+			}
+			if err != nil {
+				return false
+			}
+			return len(m.Output) == 1 && m.Output[0] == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("op %v: %v", op.op, err)
+		}
+	}
+}
+
+func TestMinCherryPicked(t *testing.T) {
+	// if a < b print a else print b, with a loop decrementing a counter:
+	// exercises If/Goto both taken and fallthrough.
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 7) // a
+	mb.Const(1, 3) // b
+	br := mb.If(0, ir.Lt, 1, -1)
+	mb.Native(-1, ir.NativePrint, 1)
+	g := mb.Goto(-1)
+	mb.Patch(br, mb.PC())
+	mb.Native(-1, ir.NativePrint, 0)
+	mb.Patch(g, mb.PC())
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runOutput(t, prog)
+	if len(out) != 1 || out[0] != 3 {
+		t.Fatalf("out = %v, want [3]", out)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// sum 0..99 via a while loop.
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 0)   // i
+	mb.Const(1, 0)   // sum
+	mb.Const(2, 100) // n
+	mb.Const(3, 1)   // one
+	head := mb.If(0, ir.Ge, 2, -1)
+	mb.Bin(1, ir.Add, 1, 0)
+	mb.Bin(0, ir.Add, 0, 3)
+	mb.Goto(head)
+	mb.Patch(head, mb.PC())
+	mb.Native(-1, ir.NativePrint, 1)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runOutput(t, prog)
+	if len(out) != 1 || out[0] != 4950 {
+		t.Fatalf("out = %v, want [4950]", out)
+	}
+}
+
+func TestFieldsAndVirtualDispatch(t *testing.T) {
+	bd := ir.NewBuilder()
+	base := bd.Class("Base", nil)
+	fx := bd.Field(base, "x", ir.IntType)
+	get := bd.Method(base, "get", false, 1, ir.IntType)
+	gb := bd.Body(get)
+	gb.LoadField(1, 0, fx)
+	gb.Return(1)
+
+	derived := bd.Class("Derived", base)
+	getD := bd.Method(derived, "get", false, 1, ir.IntType)
+	db := bd.Body(getD)
+	db.LoadField(1, 0, fx)
+	db.Const(2, 100)
+	db.Bin(1, ir.Add, 1, 2)
+	db.Return(1)
+
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.New(0, base)
+	mb.Const(1, 5)
+	mb.StoreField(0, fx, 1)
+	mb.Call(2, get, 0)
+	mb.Native(-1, ir.NativePrint, 2)
+	mb.New(0, derived)
+	mb.StoreField(0, fx, 1)
+	mb.Call(2, get, 0) // static callee is Base.get; dispatch must pick Derived.get
+	mb.Native(-1, ir.NativePrint, 2)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runOutput(t, prog)
+	if len(out) != 2 || out[0] != 5 || out[1] != 105 {
+		t.Fatalf("out = %v, want [5 105]", out)
+	}
+}
+
+func TestArraysRoundTrip(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 10)
+	mb.NewArray(1, ir.IntType, 0) // arr = new int[10]
+	mb.Const(2, 3)                // idx
+	mb.Const(3, 77)               // val
+	mb.AStore(1, 2, 3)
+	mb.ALoad(4, 1, 2)
+	mb.Native(-1, ir.NativePrint, 4)
+	mb.ArrayLen(5, 1)
+	mb.Native(-1, ir.NativePrint, 5)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runOutput(t, prog)
+	if len(out) != 2 || out[0] != 77 || out[1] != 10 {
+		t.Fatalf("out = %v, want [77 10]", out)
+	}
+}
+
+func errKindOf(t *testing.T, prog *ir.Program) ErrKind {
+	t.Helper()
+	m := New(prog)
+	err := m.Run()
+	var vmErr *VMError
+	if !errors.As(err, &vmErr) {
+		t.Fatalf("want VMError, got %v", err)
+	}
+	return vmErr.Kind
+}
+
+func TestNullDereference(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	fx := bd.Field(cls, "x", ir.IntType)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Null(0)
+	mb.LoadField(1, 0, fx)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := errKindOf(t, prog); k != ErrNullDeref {
+		t.Fatalf("kind = %v, want null deref", k)
+	}
+}
+
+func TestBoundsError(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 2)
+	mb.NewArray(1, ir.IntType, 0)
+	mb.Const(2, 5)
+	mb.ALoad(3, 1, 2)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := errKindOf(t, prog); k != ErrBounds {
+		t.Fatalf("kind = %v, want bounds", k)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	g := mb.Goto(-1)
+	mb.Patch(g, g) // infinite loop
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	vm.MaxSteps = 1000
+	err = vm.Run()
+	var vmErr *VMError
+	if !errors.As(err, &vmErr) || vmErr.Kind != ErrStepLimit {
+		t.Fatalf("want step-limit error, got %v", err)
+	}
+}
+
+func TestRecursionAndReturnValues(t *testing.T) {
+	// fib(n) recursive.
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	fib := bd.Method(cls, "fib", true, 1, ir.IntType)
+	fb := bd.Body(fib)
+	fb.Const(1, 2)
+	br := fb.If(0, ir.Ge, 1, -1)
+	fb.Return(0) // n < 2 → n
+	fb.Patch(br, fb.PC())
+	fb.Const(2, 1)
+	fb.Bin(3, ir.Sub, 0, 2) // n-1
+	fb.Call(4, fib, 3)
+	fb.Const(2, 2)
+	fb.Bin(3, ir.Sub, 0, 2) // n-2
+	fb.Call(5, fib, 3)
+	fb.Bin(6, ir.Add, 4, 5)
+	fb.Return(6)
+
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 15)
+	mb.Call(1, fib, 0)
+	mb.Native(-1, ir.NativePrint, 1)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runOutput(t, prog)
+	if len(out) != 1 || out[0] != 610 {
+		t.Fatalf("fib(15) = %v, want 610", out)
+	}
+}
+
+func TestStackOverflowCaught(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	rec := bd.Method(cls, "rec", true, 1, ir.IntType)
+	rb := bd.Body(rec)
+	rb.Call(1, rec, 0)
+	rb.Return(1)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 0)
+	mb.Call(1, rec, 0)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	vm.MaxDepth = 100
+	err = vm.Run()
+	var vmErr *VMError
+	if !errors.As(err, &vmErr) || vmErr.Kind != ErrStackOverflow {
+		t.Fatalf("want stack overflow, got %v", err)
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	f := func(x int64) bool { return unpackFloatBits(packFloatBits(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// And not the identity (it must model a real encode step).
+	if packFloatBits(12345) == 12345 {
+		t.Error("packFloatBits is the identity")
+	}
+}
+
+func TestNativesDeterministic(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 100)
+	mb.Native(1, ir.NativeRand, 0)
+	mb.Native(-1, ir.NativePrint, 1)
+	mb.Native(2, ir.NativeHash, 0)
+	mb.Native(-1, ir.NativePrint, 2)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := runOutput(t, prog)
+	out2 := runOutput(t, prog)
+	if len(out1) != 2 || out1[0] < 0 || out1[0] >= 100 {
+		t.Fatalf("rand out of range: %v", out1)
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("natives not deterministic: %v vs %v", out1, out2)
+		}
+	}
+}
+
+func TestAssertCountsFailures(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 0)
+	mb.Const(1, 1)
+	mb.Native(-1, ir.NativeAssert, 0)
+	mb.Native(-1, ir.NativeAssert, 1)
+	mb.Native(-1, ir.NativeAssert, 0)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.AssertFailures != 2 {
+		t.Fatalf("AssertFailures = %d, want 2", vm.AssertFailures)
+	}
+}
+
+func TestStepsCountEveryInstruction(t *testing.T) {
+	prog := buildExpr(t, ir.Add, 1, 2)
+	vm := New(prog)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// const, const, bin, native, return = 5
+	if vm.Steps != 5 {
+		t.Fatalf("Steps = %d, want 5", vm.Steps)
+	}
+}
+
+func TestAllocCounters(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 3)
+	mb.Const(1, 0)
+	mb.Const(2, 1)
+	head := mb.If(1, ir.Ge, 0, -1)
+	mb.New(3, cls)
+	mb.Bin(1, ir.Add, 1, 2)
+	mb.Goto(head)
+	mb.Patch(head, mb.PC())
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Allocs != 3 {
+		t.Fatalf("Allocs = %d, want 3", vm.Allocs)
+	}
+	if len(vm.AllocsBySite) != 1 || vm.AllocsBySite[0] != 3 {
+		t.Fatalf("AllocsBySite = %v, want [3]", vm.AllocsBySite)
+	}
+}
+
+func TestInstanceOf(t *testing.T) {
+	bd := ir.NewBuilder()
+	base := bd.Class("Base", nil)
+	derived := bd.Class("Derived", base)
+	other := bd.Class("Other", nil)
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.New(0, derived)
+	mb.InstanceOf(1, 0, base)
+	mb.Native(-1, ir.NativePrint, 1)
+	mb.InstanceOf(1, 0, other)
+	mb.Native(-1, ir.NativePrint, 1)
+	mb.Null(2)
+	mb.InstanceOf(1, 2, base)
+	mb.Native(-1, ir.NativePrint, 1)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runOutput(t, prog)
+	want := []int64{1, 0, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestCallMethodDirect(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	add := bd.Method(cls, "add", true, 2, ir.IntType)
+	ab := bd.Body(add)
+	ab.Bin(2, ir.Add, 0, 1)
+	ab.Return(2)
+	m := bd.Method(cls, "main", true, 0, nil)
+	bd.Body(m).ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	got, err := vm.CallMethod(add, IntVal(20), IntVal(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != 42 {
+		t.Fatalf("CallMethod = %v, want 42", got)
+	}
+}

@@ -1,0 +1,640 @@
+package interp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lowutil/internal/ir"
+)
+
+const (
+	// DefaultMaxSteps bounds runaway programs.
+	DefaultMaxSteps = int64(1) << 34
+	// DefaultMaxDepth bounds call-stack depth.
+	DefaultMaxDepth = 1 << 16
+	// DBQueryCost is the synthetic work (in virtual instructions) charged
+	// for each NativeDBQuery call; it models the database round-trip the
+	// tradebeans/derby case studies pay per query.
+	DBQueryCost = 500
+)
+
+// Machine executes an ir.Program. A Machine is single-use per Run but its
+// configuration fields may be set freely before Run.
+type Machine struct {
+	Prog *ir.Program
+	// Tracer, when non-nil, observes every executed instruction.
+	Tracer Tracer
+	// MaxSteps and MaxDepth bound execution; zero means the defaults.
+	MaxSteps int64
+	MaxDepth int
+	// Seed seeds the deterministic PRNG behind NativeRand.
+	Seed uint64
+
+	// Statics holds static-field storage, indexed by StaticField.Slot.
+	Statics []Value
+	// Output collects values written by NativePrint/NativePrintChar.
+	Output []int64
+
+	// Steps counts executed instruction instances — the paper's #I.
+	Steps int64
+	// Allocs counts object and array allocations.
+	Allocs int64
+	// AllocsBySite counts allocations per allocation site.
+	AllocsBySite []int64
+	// NativeWork accumulates synthetic native cost (DB queries).
+	NativeWork int64
+	// AssertFailures counts NativeAssert calls with a zero argument.
+	AssertFailures int64
+
+	frames     []*Frame
+	rng        uint64
+	clock      int64
+	seq        int64
+	lastReturn Value
+}
+
+// New returns a Machine for prog with default limits.
+func New(prog *ir.Program) *Machine {
+	return &Machine{
+		Prog:         prog,
+		MaxSteps:     DefaultMaxSteps,
+		MaxDepth:     DefaultMaxDepth,
+		Seed:         0x9E3779B97F4A7C15,
+		Statics:      make([]Value, len(prog.Statics)),
+		AllocsBySite: make([]int64, prog.NumAllocSites()),
+	}
+}
+
+// Depth returns the current call-stack depth.
+func (m *Machine) Depth() int { return len(m.frames) }
+
+// Frames returns the live call stack, innermost last. The returned slice is
+// the machine's own; callers must not mutate it.
+func (m *Machine) Frames() []*Frame { return m.frames }
+
+// NewObject allocates a class instance as the VM would, without executing an
+// instruction. Tests and clients use it to fabricate receivers.
+func (m *Machine) NewObject(c *ir.Class, site int) *Object {
+	m.seq++
+	m.Allocs++
+	fields := make([]Value, c.NumFieldSlots())
+	for slot, isRef := range c.RefSlots() {
+		if isRef {
+			fields[slot] = Null
+		}
+	}
+	return &Object{Class: c, Fields: fields, Site: site, Seq: m.seq}
+}
+
+// initStatics allocates static storage and nulls reference-typed slots.
+func (m *Machine) initStatics() {
+	if m.Statics != nil {
+		return
+	}
+	m.Statics = make([]Value, len(m.Prog.Statics))
+	for _, sf := range m.Prog.Statics {
+		if sf.Type.IsRef() {
+			m.Statics[sf.Slot] = Null
+		}
+	}
+}
+
+func (m *Machine) newArray(elem *ir.Type, n int64, site int) (*Object, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("negative array length %d", n)
+	}
+	m.seq++
+	m.Allocs++
+	return &Object{Elems: make([]Value, n), ElemT: elem, Site: site, Seq: m.seq}, nil
+}
+
+func (m *Machine) fail(kind ErrKind, in *ir.Instr, fr *Frame, format string, args ...any) error {
+	return &VMError{Kind: kind, In: in, Frame: fr, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (m *Machine) nextRand() uint64 {
+	// xorshift64*: deterministic, fast, good enough for workload shaping.
+	x := m.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+const floatBitsKey = 0x5A5A_C3C3_0F0F_9696
+
+// packFloatBits is the NativeFloatToBits transform; it is a bijection so
+// NativeBitsToFloat can invert it exactly, modelling
+// Float.floatToIntBits/intBitsToFloat round-trips.
+func packFloatBits(x int64) int64 {
+	return int64(bits.RotateLeft64(uint64(x), 17) ^ floatBitsKey)
+}
+
+func unpackFloatBits(y int64) int64 {
+	return int64(bits.RotateLeft64(uint64(y)^floatBitsKey, -17))
+}
+
+// Run executes the program's main method to completion and returns the VM
+// error, if any.
+func (m *Machine) Run() error {
+	if m.MaxSteps == 0 {
+		m.MaxSteps = DefaultMaxSteps
+	}
+	if m.MaxDepth == 0 {
+		m.MaxDepth = DefaultMaxDepth
+	}
+	m.initStatics()
+	if m.AllocsBySite == nil {
+		m.AllocsBySite = make([]int64, m.Prog.NumAllocSites())
+	}
+	m.rng = m.Seed | 1
+
+	entry := &Frame{
+		Method: m.Prog.Main,
+		Locals: make([]Value, m.Prog.Main.NumLocals),
+		RetDst: -1,
+	}
+	m.frames = append(m.frames[:0], entry)
+	if m.Tracer != nil {
+		m.Tracer.EnterMethod(entry, nil)
+	}
+	return m.loop()
+}
+
+// CallMethod invokes an arbitrary method with the given arguments and runs
+// it to completion, returning the result. It is used by tests and by
+// harnesses that drive individual methods.
+func (m *Machine) CallMethod(method *ir.Method, args ...Value) (Value, error) {
+	if m.MaxSteps == 0 {
+		m.MaxSteps = DefaultMaxSteps
+	}
+	if m.MaxDepth == 0 {
+		m.MaxDepth = DefaultMaxDepth
+	}
+	m.initStatics()
+	if m.AllocsBySite == nil {
+		m.AllocsBySite = make([]int64, m.Prog.NumAllocSites())
+	}
+	if m.rng == 0 {
+		m.rng = m.Seed | 1
+	}
+	if len(args) != method.Params {
+		return Null, fmt.Errorf("interp: %s takes %d args, got %d", method.QualifiedName(), method.Params, len(args))
+	}
+	fr := &Frame{Method: method, Locals: make([]Value, method.NumLocals), RetDst: -1}
+	copy(fr.Locals, args)
+	base := len(m.frames)
+	m.frames = append(m.frames, fr)
+	var recv *Object
+	if !method.Static && len(args) > 0 && args[0].K == ir.KindRef {
+		recv = args[0].Ref
+	}
+	if m.Tracer != nil {
+		m.Tracer.EnterMethod(fr, recv)
+	}
+	if err := m.loopUntil(base); err != nil {
+		return Null, err
+	}
+	return m.lastReturn, nil
+}
+
+func (m *Machine) loop() error { return m.loopUntil(0) }
+
+// loopUntil runs until the frame stack shrinks below base.
+func (m *Machine) loopUntil(base int) error {
+	for len(m.frames) > base {
+		fr := m.frames[len(m.frames)-1]
+		if fr.PC < 0 || fr.PC >= len(fr.Method.Code) {
+			return m.fail(ErrType, nil, fr, "pc %d out of range in %s", fr.PC, fr.Method.QualifiedName())
+		}
+		in := &fr.Method.Code[fr.PC]
+		m.Steps++
+		if m.Steps > m.MaxSteps {
+			return m.fail(ErrStepLimit, in, fr, "after %d steps", m.Steps-1)
+		}
+		if err := m.step(fr, in, base); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step executes one instruction. It advances fr.PC itself.
+func (m *Machine) step(fr *Frame, in *ir.Instr, base int) error {
+	loc := fr.Locals
+	advance := true
+	var ev Event
+	traced := m.Tracer != nil
+
+	switch in.Op {
+	case ir.OpConst:
+		if in.IsNull {
+			loc[in.Dst] = Null
+		} else {
+			loc[in.Dst] = IntVal(in.Imm)
+		}
+		ev.Val = loc[in.Dst]
+
+	case ir.OpMove:
+		loc[in.Dst] = loc[in.A]
+		ev.Val = loc[in.Dst]
+
+	case ir.OpBin:
+		a, b := loc[in.A], loc[in.B]
+		if a.K == ir.KindRef || b.K == ir.KindRef {
+			return m.fail(ErrType, in, fr, "arithmetic on reference")
+		}
+		var r int64
+		switch in.Bin {
+		case ir.Add:
+			r = a.I + b.I
+		case ir.Sub:
+			r = a.I - b.I
+		case ir.Mul:
+			r = a.I * b.I
+		case ir.Div:
+			if b.I == 0 {
+				return m.fail(ErrDivZero, in, fr, "")
+			}
+			r = a.I / b.I
+		case ir.Rem:
+			if b.I == 0 {
+				return m.fail(ErrDivZero, in, fr, "")
+			}
+			r = a.I % b.I
+		case ir.And:
+			r = a.I & b.I
+		case ir.Or:
+			r = a.I | b.I
+		case ir.Xor:
+			r = a.I ^ b.I
+		case ir.Shl:
+			r = a.I << (uint64(b.I) & 63)
+		case ir.Shr:
+			r = a.I >> (uint64(b.I) & 63)
+		default:
+			return m.fail(ErrType, in, fr, "bad binop %v", in.Bin)
+		}
+		loc[in.Dst] = IntVal(r)
+		ev.Val = loc[in.Dst]
+
+	case ir.OpNeg:
+		a := loc[in.A]
+		if a.K == ir.KindRef {
+			return m.fail(ErrType, in, fr, "negation of reference")
+		}
+		loc[in.Dst] = IntVal(-a.I)
+		ev.Val = loc[in.Dst]
+
+	case ir.OpNot:
+		a := loc[in.A]
+		if a.Truthy() {
+			loc[in.Dst] = IntVal(0)
+		} else {
+			loc[in.Dst] = IntVal(1)
+		}
+		ev.Val = loc[in.Dst]
+
+	case ir.OpNew:
+		o := m.NewObject(in.Class, in.AllocSite)
+		m.AllocsBySite[in.AllocSite]++
+		loc[in.Dst] = RefVal(o)
+		ev.New = o
+		ev.Val = loc[in.Dst]
+
+	case ir.OpNewArray:
+		n := loc[in.A]
+		if n.K == ir.KindRef {
+			return m.fail(ErrType, in, fr, "array length is a reference")
+		}
+		o, err := m.newArray(in.Elem, n.I, in.AllocSite)
+		if err != nil {
+			return m.fail(ErrBounds, in, fr, "%v", err)
+		}
+		if in.Elem.IsRef() {
+			for i := range o.Elems {
+				o.Elems[i] = Null
+			}
+		}
+		m.AllocsBySite[in.AllocSite]++
+		loc[in.Dst] = RefVal(o)
+		ev.New = o
+		ev.Val = loc[in.Dst]
+
+	case ir.OpLoadField:
+		base, err := m.refOperand(in, fr, in.A, false)
+		if err != nil {
+			return err
+		}
+		if base.IsArray() || in.Field.Slot >= len(base.Fields) {
+			return m.fail(ErrType, in, fr, "object %s has no field %s", base, in.Field.QualifiedName())
+		}
+		loc[in.Dst] = base.Fields[in.Field.Slot]
+		ev.Base = base
+		ev.Val = loc[in.Dst]
+
+	case ir.OpStoreField:
+		base, err := m.refOperand(in, fr, in.A, false)
+		if err != nil {
+			return err
+		}
+		if base.IsArray() || in.Field.Slot >= len(base.Fields) {
+			return m.fail(ErrType, in, fr, "object %s has no field %s", base, in.Field.QualifiedName())
+		}
+		base.Fields[in.Field.Slot] = loc[in.B]
+		ev.Base = base
+		ev.Val = loc[in.B]
+
+	case ir.OpLoadStatic:
+		loc[in.Dst] = m.Statics[in.Static.Slot]
+		ev.Val = loc[in.Dst]
+
+	case ir.OpStoreStatic:
+		m.Statics[in.Static.Slot] = loc[in.A]
+		ev.Val = loc[in.A]
+
+	case ir.OpALoad:
+		arr, err := m.refOperand(in, fr, in.A, true)
+		if err != nil {
+			return err
+		}
+		idx := loc[in.B]
+		if idx.K == ir.KindRef {
+			return m.fail(ErrType, in, fr, "array index is a reference")
+		}
+		if idx.I < 0 || idx.I >= int64(len(arr.Elems)) {
+			return m.fail(ErrBounds, in, fr, "index %d, length %d", idx.I, len(arr.Elems))
+		}
+		loc[in.Dst] = arr.Elems[idx.I]
+		ev.Base, ev.Index = arr, idx.I
+		ev.Val = loc[in.Dst]
+
+	case ir.OpAStore:
+		arr, err := m.refOperand(in, fr, in.A, true)
+		if err != nil {
+			return err
+		}
+		idx := loc[in.B]
+		if idx.K == ir.KindRef {
+			return m.fail(ErrType, in, fr, "array index is a reference")
+		}
+		if idx.I < 0 || idx.I >= int64(len(arr.Elems)) {
+			return m.fail(ErrBounds, in, fr, "index %d, length %d", idx.I, len(arr.Elems))
+		}
+		arr.Elems[idx.I] = loc[in.C2]
+		ev.Base, ev.Index = arr, idx.I
+		ev.Val = loc[in.C2]
+
+	case ir.OpArrayLen:
+		arr, err := m.refOperand(in, fr, in.A, true)
+		if err != nil {
+			return err
+		}
+		loc[in.Dst] = IntVal(int64(len(arr.Elems)))
+		ev.Base = arr
+		ev.Val = loc[in.Dst]
+
+	case ir.OpIf:
+		taken, err := m.compare(in, fr)
+		if err != nil {
+			return err
+		}
+		if taken {
+			fr.PC = in.Target
+			advance = false
+		}
+		ev.Taken = taken
+
+	case ir.OpGoto:
+		fr.PC = in.Target
+		return nil // no tracer event for pure control transfer
+
+	case ir.OpInstanceOf:
+		v := loc[in.A]
+		if v.K != ir.KindRef {
+			return m.fail(ErrType, in, fr, "instanceof on non-reference")
+		}
+		res := int64(0)
+		if v.Ref != nil && !v.Ref.IsArray() && v.Ref.Class.IsSubclassOf(in.Class) {
+			res = 1
+		}
+		loc[in.Dst] = IntVal(res)
+		ev.Val = loc[in.Dst]
+
+	case ir.OpCall:
+		return m.doCall(fr, in)
+
+	case ir.OpReturn:
+		return m.doReturn(fr, in, base)
+
+	case ir.OpNative:
+		v, err := m.doNative(fr, in)
+		if err != nil {
+			return err
+		}
+		if in.Dst >= 0 {
+			loc[in.Dst] = v
+		}
+		ev.Val = v
+
+	default:
+		return m.fail(ErrType, in, fr, "unknown opcode")
+	}
+
+	if traced {
+		ev.In, ev.Frame = in, fr
+		m.Tracer.Exec(&ev)
+	}
+	if advance {
+		fr.PC++
+	}
+	return nil
+}
+
+// refOperand loads a non-null reference from slot s, failing with the
+// appropriate VM error otherwise. wantArray selects array vs instance.
+func (m *Machine) refOperand(in *ir.Instr, fr *Frame, s int, wantArray bool) (*Object, error) {
+	v := fr.Locals[s]
+	if v.K != ir.KindRef {
+		return nil, m.fail(ErrType, in, fr, "expected reference in slot %d, got int", s)
+	}
+	if v.Ref == nil {
+		return nil, m.fail(ErrNullDeref, in, fr, "")
+	}
+	if wantArray && !v.Ref.IsArray() {
+		return nil, m.fail(ErrType, in, fr, "expected array, got %s", v.Ref)
+	}
+	return v.Ref, nil
+}
+
+func (m *Machine) compare(in *ir.Instr, fr *Frame) (bool, error) {
+	a, b := fr.Locals[in.A], fr.Locals[in.B]
+	if a.K == ir.KindRef || b.K == ir.KindRef {
+		// Reference comparison: only identity equality is defined.
+		if in.Cmp != ir.Eq && in.Cmp != ir.Ne {
+			return false, m.fail(ErrType, in, fr, "ordered comparison of references")
+		}
+		var ar, br *Object
+		if a.K == ir.KindRef {
+			ar = a.Ref
+		}
+		if b.K == ir.KindRef {
+			br = b.Ref
+		}
+		if a.K != b.K {
+			// Comparing ref with int: only null-vs-0 idiom is tolerated as
+			// inequality.
+			return in.Cmp == ir.Ne, nil
+		}
+		eq := ar == br
+		if in.Cmp == ir.Eq {
+			return eq, nil
+		}
+		return !eq, nil
+	}
+	switch in.Cmp {
+	case ir.Eq:
+		return a.I == b.I, nil
+	case ir.Ne:
+		return a.I != b.I, nil
+	case ir.Lt:
+		return a.I < b.I, nil
+	case ir.Le:
+		return a.I <= b.I, nil
+	case ir.Gt:
+		return a.I > b.I, nil
+	case ir.Ge:
+		return a.I >= b.I, nil
+	}
+	return false, m.fail(ErrType, in, fr, "bad comparison")
+}
+
+func (m *Machine) doCall(fr *Frame, in *ir.Instr) error {
+	callee := in.Callee
+	var recv *Object
+	if !callee.Static {
+		v := fr.Locals[in.Args[0]]
+		if v.K != ir.KindRef {
+			return m.fail(ErrType, in, fr, "receiver is not a reference")
+		}
+		if v.Ref == nil {
+			return m.fail(ErrNullDeref, in, fr, "call %s on null", callee.QualifiedName())
+		}
+		recv = v.Ref
+		if recv.IsArray() {
+			return m.fail(ErrType, in, fr, "method call on array")
+		}
+		// Virtual dispatch by name on the dynamic class.
+		if target := recv.Class.LookupMethod(callee.Name); target != nil {
+			callee = target
+		} else {
+			return m.fail(ErrType, in, fr, "class %s has no method %s", recv.Class.Name, callee.Name)
+		}
+	}
+	if len(m.frames) >= m.MaxDepth {
+		return m.fail(ErrStackOverflow, in, fr, "depth %d", len(m.frames))
+	}
+	if m.Tracer != nil {
+		m.Tracer.BeforeCall(in, fr, callee, recv)
+	}
+	nf := &Frame{
+		Method: callee,
+		Locals: make([]Value, callee.NumLocals),
+		RetDst: in.Dst,
+		CallIn: in,
+	}
+	for i, a := range in.Args {
+		nf.Locals[i] = fr.Locals[a]
+	}
+	m.frames = append(m.frames, nf)
+	if m.Tracer != nil {
+		m.Tracer.EnterMethod(nf, recv)
+	}
+	return nil
+}
+
+func (m *Machine) doReturn(fr *Frame, in *ir.Instr, base int) error {
+	if m.Tracer != nil {
+		m.Tracer.BeforeReturn(in, fr)
+	}
+	var ret Value
+	if in.HasA {
+		ret = fr.Locals[in.A]
+	}
+	m.frames = m.frames[:len(m.frames)-1]
+	if len(m.frames) <= base {
+		m.lastReturn = ret
+		return nil
+	}
+	caller := m.frames[len(m.frames)-1]
+	callIn := fr.CallIn
+	if in.HasA && fr.RetDst >= 0 {
+		caller.Locals[fr.RetDst] = ret
+	}
+	if m.Tracer != nil {
+		m.Tracer.AfterCall(callIn, caller, in.HasA && fr.RetDst >= 0)
+	}
+	caller.PC++
+	return nil
+}
+
+func (m *Machine) doNative(fr *Frame, in *ir.Instr) (Value, error) {
+	arg := func(i int) Value {
+		if i < len(in.Args) {
+			return fr.Locals[in.Args[i]]
+		}
+		return IntVal(0)
+	}
+	argInt := func(i int) int64 {
+		v := arg(i)
+		if v.K == ir.KindRef {
+			if v.Ref == nil {
+				return 0
+			}
+			return v.Ref.Seq
+		}
+		return v.I
+	}
+	switch in.Native {
+	case ir.NativePrint, ir.NativePrintChar:
+		m.Output = append(m.Output, argInt(0))
+		return IntVal(0), nil
+	case ir.NativeRand:
+		n := argInt(0)
+		if n <= 0 {
+			return IntVal(0), nil
+		}
+		return IntVal(int64(m.nextRand() % uint64(n))), nil
+	case ir.NativeTime:
+		m.clock++
+		return IntVal(m.clock), nil
+	case ir.NativeFloatToBits:
+		return IntVal(packFloatBits(argInt(0))), nil
+	case ir.NativeBitsToFloat:
+		return IntVal(unpackFloatBits(argInt(0))), nil
+	case ir.NativeAssert:
+		if argInt(0) == 0 {
+			m.AssertFailures++
+		}
+		return IntVal(0), nil
+	case ir.NativeDBQuery:
+		m.NativeWork += DBQueryCost
+		var h uint64 = 0x9E3779B97F4A7C15
+		for i := range in.Args {
+			h = mix64(h ^ uint64(argInt(i)))
+		}
+		return IntVal(int64(h >> 1)), nil
+	case ir.NativeHash:
+		return IntVal(int64(mix64(uint64(argInt(0))) >> 1)), nil
+	default:
+		return IntVal(0), m.fail(ErrNative, in, fr, "unknown native %v", in.Native)
+	}
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

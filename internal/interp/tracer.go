@@ -1,0 +1,77 @@
+package interp
+
+import "lowutil/internal/ir"
+
+// Event carries the resolved runtime context of one executed instruction to
+// a Tracer. The machine fills only the fields relevant to the opcode:
+//
+//   - Base: the base object for field/array loads and stores (never nil —
+//     a nil base raises a VM error before the tracer runs).
+//   - Index: the resolved array index for OpALoad/OpAStore.
+//   - New: the freshly allocated object for OpNew/OpNewArray.
+//   - Taken: the branch outcome for OpIf.
+//   - Val: the value written to the destination slot (loads, moves,
+//     computations, allocations, natives with a destination) or the value
+//     stored to the heap (stores). Clients such as null-propagation use it
+//     to compute their abstraction functions.
+type Event struct {
+	In    *ir.Instr
+	Frame *Frame
+	Base  *Object
+	Index int64
+	New   *Object
+	Taken bool
+	Val   Value
+}
+
+// Tracer observes execution. All hooks run synchronously on the interpreter
+// goroutine; a Tracer may keep per-frame state in Frame.Shadow and per-object
+// state in Object.Shadow.
+//
+// The hook protocol around calls mirrors the paper's tracking stack T:
+//
+//	caller executes OpCall
+//	  → BeforeCall (actuals still in caller frame; push tracking data)
+//	  → EnterMethod (callee frame exists, formals copied; pop into formals)
+//	  ... callee body, each instruction reported via Exec ...
+//	  → BeforeReturn (return instruction; push return-value tracking data)
+//	  → AfterCall (back in caller, destination slot assigned)
+//
+// Natives are reported through Exec with Op == OpNative.
+type Tracer interface {
+	// Exec is called after the machine has executed in (destination slot
+	// already updated, heap effect already applied).
+	Exec(ev *Event)
+	// BeforeCall is called before argument copy; recv is the dispatched
+	// receiver (nil for static calls); callee is the dispatch target.
+	BeforeCall(in *ir.Instr, caller *Frame, callee *ir.Method, recv *Object)
+	// EnterMethod is called once the callee frame is set up. recv is nil
+	// for static methods and for the entry frame.
+	EnterMethod(fr *Frame, recv *Object)
+	// BeforeReturn is called when fr executes its return instruction.
+	BeforeReturn(in *ir.Instr, fr *Frame)
+	// AfterCall is called in the caller after the callee returned and the
+	// destination slot (if any) has been assigned.
+	AfterCall(in *ir.Instr, caller *Frame, hasValue bool)
+}
+
+// NopTracer is a Tracer that does nothing. It is useful for measuring the
+// dispatch overhead of tracing itself, separate from profiling work.
+type NopTracer struct{}
+
+// Exec implements Tracer.
+func (NopTracer) Exec(*Event) {}
+
+// BeforeCall implements Tracer.
+func (NopTracer) BeforeCall(*ir.Instr, *Frame, *ir.Method, *Object) {}
+
+// EnterMethod implements Tracer.
+func (NopTracer) EnterMethod(*Frame, *Object) {}
+
+// BeforeReturn implements Tracer.
+func (NopTracer) BeforeReturn(*ir.Instr, *Frame) {}
+
+// AfterCall implements Tracer.
+func (NopTracer) AfterCall(*ir.Instr, *Frame, bool) {}
+
+var _ Tracer = NopTracer{}

@@ -1,0 +1,377 @@
+package ir
+
+import "fmt"
+
+// Builder incrementally constructs a Program. Typical use:
+//
+//	b := ir.NewBuilder()
+//	cls := b.Class("List", nil)
+//	f := b.Field(cls, "head", b.RefType(nodeCls))
+//	m := b.Method(cls, "add", false, 2, ir.IntType)
+//	mb := b.Body(m)
+//	mb.Move(2, 1)
+//	...
+//	prog, err := b.Seal("Main", "main")
+//
+// The Builder assigns instruction IDs, allocation-site IDs and field slots;
+// Seal validates the result.
+type Builder struct {
+	classes     []*Class
+	statics     []*StaticField
+	classByName map[string]*Class
+	refTypes    map[*Class]*Type
+	arrTypes    map[*Type]*Type
+	nextField   int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		classByName: make(map[string]*Class),
+		refTypes:    make(map[*Class]*Type),
+		arrTypes:    make(map[*Type]*Type),
+	}
+}
+
+// Class declares a new class with the given superclass (nil for none).
+// Declaring two classes with the same name panics: builder misuse is a
+// programming error, not an input error.
+func (b *Builder) Class(name string, super *Class) *Class {
+	if _, dup := b.classByName[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate class %q", name))
+	}
+	c := &Class{Name: name, Super: super, ID: len(b.classes), methods: make(map[string]*Method)}
+	b.classes = append(b.classes, c)
+	b.classByName[name] = c
+	return c
+}
+
+// RefType returns the interned reference type for class c.
+func (b *Builder) RefType(c *Class) *Type {
+	if t, ok := b.refTypes[c]; ok {
+		return t
+	}
+	t := &Type{Kind: KindRef, Class: c}
+	b.refTypes[c] = t
+	return t
+}
+
+// ArrayType returns the interned array type with the given element type.
+func (b *Builder) ArrayType(elem *Type) *Type {
+	if t, ok := b.arrTypes[elem]; ok {
+		return t
+	}
+	t := &Type{Kind: KindRef, Elem: elem}
+	b.arrTypes[elem] = t
+	return t
+}
+
+// Field declares an instance field on c.
+func (b *Builder) Field(c *Class, name string, typ *Type) *Field {
+	f := &Field{Name: name, Type: typ, Class: c, ID: b.nextField}
+	b.nextField++
+	c.Fields = append(c.Fields, f)
+	return f
+}
+
+// StaticField declares a static field on c.
+func (b *Builder) StaticField(c *Class, name string, typ *Type) *StaticField {
+	f := &StaticField{Name: name, Type: typ, Class: c, Slot: len(b.statics)}
+	f.ID = f.Slot
+	b.statics = append(b.statics, f)
+	return f
+}
+
+// Method declares a method on c. params includes the receiver for instance
+// methods (slot 0 = this). returns may be nil for void.
+func (b *Builder) Method(c *Class, name string, static bool, params int, returns *Type) *Method {
+	if _, dup := c.methods[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate method %s.%s", c.Name, name))
+	}
+	m := &Method{Name: name, Class: c, Static: static, Params: params, NumLocals: params, Returns: returns}
+	c.Methods = append(c.Methods, m)
+	c.methods[name] = m
+	return m
+}
+
+// BodyBuilder emits instructions into a method. It also tracks the high-water
+// mark of local slots so NumLocals is maintained automatically.
+type BodyBuilder struct {
+	m    *Method
+	line int
+}
+
+// Body returns a BodyBuilder for m. A method may only be built once.
+func (b *Builder) Body(m *Method) *BodyBuilder {
+	if len(m.Code) != 0 {
+		panic(fmt.Sprintf("ir: method %s already has a body", m.QualifiedName()))
+	}
+	return &BodyBuilder{m: m}
+}
+
+// Line sets the source line recorded on subsequently emitted instructions.
+func (bb *BodyBuilder) Line(line int) *BodyBuilder { bb.line = line; return bb }
+
+// PC returns the index the next emitted instruction will have.
+func (bb *BodyBuilder) PC() int { return len(bb.m.Code) }
+
+func (bb *BodyBuilder) touch(slots ...int) {
+	for _, s := range slots {
+		if s >= bb.m.NumLocals {
+			bb.m.NumLocals = s + 1
+		}
+	}
+}
+
+func (bb *BodyBuilder) emit(in Instr) int {
+	in.Line = bb.line
+	in.PC = len(bb.m.Code)
+	bb.m.Code = append(bb.m.Code, in)
+	return in.PC
+}
+
+// Const emits dst = imm.
+func (bb *BodyBuilder) Const(dst int, imm int64) int {
+	bb.touch(dst)
+	return bb.emit(Instr{Op: OpConst, Dst: dst, Imm: imm, A: -1, B: -1, C2: -1, AllocSite: -1})
+}
+
+// Null emits dst = null.
+func (bb *BodyBuilder) Null(dst int) int {
+	bb.touch(dst)
+	return bb.emit(Instr{Op: OpConst, Dst: dst, IsNull: true, A: -1, B: -1, C2: -1, AllocSite: -1})
+}
+
+// Move emits dst = src.
+func (bb *BodyBuilder) Move(dst, src int) int {
+	bb.touch(dst, src)
+	return bb.emit(Instr{Op: OpMove, Dst: dst, A: src, B: -1, C2: -1, AllocSite: -1})
+}
+
+// Bin emits dst = a op b2.
+func (bb *BodyBuilder) Bin(dst int, op BinOp, a, b2 int) int {
+	bb.touch(dst, a, b2)
+	return bb.emit(Instr{Op: OpBin, Dst: dst, Bin: op, A: a, B: b2, C2: -1, AllocSite: -1})
+}
+
+// Neg emits dst = -a.
+func (bb *BodyBuilder) Neg(dst, a int) int {
+	bb.touch(dst, a)
+	return bb.emit(Instr{Op: OpNeg, Dst: dst, A: a, B: -1, C2: -1, AllocSite: -1})
+}
+
+// Not emits dst = !a.
+func (bb *BodyBuilder) Not(dst, a int) int {
+	bb.touch(dst, a)
+	return bb.emit(Instr{Op: OpNot, Dst: dst, A: a, B: -1, C2: -1, AllocSite: -1})
+}
+
+// New emits dst = new cls. The allocation-site index is assigned at Seal.
+func (bb *BodyBuilder) New(dst int, cls *Class) int {
+	bb.touch(dst)
+	return bb.emit(Instr{Op: OpNew, Dst: dst, Class: cls, A: -1, B: -1, C2: -1, AllocSite: -1})
+}
+
+// NewArray emits dst = new elem[lenSlot].
+func (bb *BodyBuilder) NewArray(dst int, elem *Type, lenSlot int) int {
+	bb.touch(dst, lenSlot)
+	return bb.emit(Instr{Op: OpNewArray, Dst: dst, Elem: elem, A: lenSlot, B: -1, C2: -1, AllocSite: -1})
+}
+
+// LoadField emits dst = obj.f.
+func (bb *BodyBuilder) LoadField(dst, obj int, f *Field) int {
+	bb.touch(dst, obj)
+	return bb.emit(Instr{Op: OpLoadField, Dst: dst, A: obj, Field: f, B: -1, C2: -1, AllocSite: -1})
+}
+
+// StoreField emits obj.f = src.
+func (bb *BodyBuilder) StoreField(obj int, f *Field, src int) int {
+	bb.touch(obj, src)
+	return bb.emit(Instr{Op: OpStoreField, A: obj, Field: f, B: src, Dst: -1, C2: -1, AllocSite: -1})
+}
+
+// LoadStatic emits dst = sf.
+func (bb *BodyBuilder) LoadStatic(dst int, sf *StaticField) int {
+	bb.touch(dst)
+	return bb.emit(Instr{Op: OpLoadStatic, Dst: dst, Static: sf, A: -1, B: -1, C2: -1, AllocSite: -1})
+}
+
+// StoreStatic emits sf = src.
+func (bb *BodyBuilder) StoreStatic(sf *StaticField, src int) int {
+	bb.touch(src)
+	return bb.emit(Instr{Op: OpStoreStatic, Static: sf, A: src, Dst: -1, B: -1, C2: -1, AllocSite: -1})
+}
+
+// ALoad emits dst = arr[idx].
+func (bb *BodyBuilder) ALoad(dst, arr, idx int) int {
+	bb.touch(dst, arr, idx)
+	return bb.emit(Instr{Op: OpALoad, Dst: dst, A: arr, B: idx, C2: -1, AllocSite: -1})
+}
+
+// AStore emits arr[idx] = src.
+func (bb *BodyBuilder) AStore(arr, idx, src int) int {
+	bb.touch(arr, idx, src)
+	return bb.emit(Instr{Op: OpAStore, A: arr, B: idx, C2: src, Dst: -1, AllocSite: -1})
+}
+
+// ArrayLen emits dst = len(arr).
+func (bb *BodyBuilder) ArrayLen(dst, arr int) int {
+	bb.touch(dst, arr)
+	return bb.emit(Instr{Op: OpArrayLen, Dst: dst, A: arr, B: -1, C2: -1, AllocSite: -1})
+}
+
+// If emits "if a cmp b2 goto target". The target may be patched later with
+// Patch.
+func (bb *BodyBuilder) If(a int, cmp Cmp, b2, target int) int {
+	bb.touch(a, b2)
+	return bb.emit(Instr{Op: OpIf, A: a, Cmp: cmp, B: b2, Target: target, Dst: -1, C2: -1, AllocSite: -1})
+}
+
+// Goto emits an unconditional jump.
+func (bb *BodyBuilder) Goto(target int) int {
+	return bb.emit(Instr{Op: OpGoto, Target: target, Dst: -1, A: -1, B: -1, C2: -1, AllocSite: -1})
+}
+
+// Patch rewrites the jump target of the branch instruction at pc.
+func (bb *BodyBuilder) Patch(pc, target int) {
+	in := &bb.m.Code[pc]
+	if in.Op != OpIf && in.Op != OpGoto {
+		panic(fmt.Sprintf("ir: patching non-branch at pc %d in %s", pc, bb.m.QualifiedName()))
+	}
+	in.Target = target
+}
+
+// Call emits dst = callee(args...). dst may be -1 for void calls. For
+// instance methods, args[0] is the receiver.
+func (bb *BodyBuilder) Call(dst int, callee *Method, args ...int) int {
+	bb.touch(args...)
+	if dst >= 0 {
+		bb.touch(dst)
+	}
+	as := make([]int, len(args))
+	copy(as, args)
+	return bb.emit(Instr{Op: OpCall, Dst: dst, Callee: callee, Args: as, A: -1, B: -1, C2: -1, AllocSite: -1})
+}
+
+// Native emits dst = native(args...). dst may be -1.
+func (bb *BodyBuilder) Native(dst int, fn NativeFn, args ...int) int {
+	bb.touch(args...)
+	if dst >= 0 {
+		bb.touch(dst)
+	}
+	as := make([]int, len(args))
+	copy(as, args)
+	return bb.emit(Instr{Op: OpNative, Dst: dst, Native: fn, Args: as, A: -1, B: -1, C2: -1, AllocSite: -1})
+}
+
+// Return emits return src.
+func (bb *BodyBuilder) Return(src int) int {
+	bb.touch(src)
+	return bb.emit(Instr{Op: OpReturn, A: src, HasA: true, Dst: -1, B: -1, C2: -1, AllocSite: -1})
+}
+
+// ReturnVoid emits a void return.
+func (bb *BodyBuilder) ReturnVoid() int {
+	return bb.emit(Instr{Op: OpReturn, Dst: -1, A: -1, B: -1, C2: -1, AllocSite: -1})
+}
+
+// InstanceOf emits dst = a instanceof cls.
+func (bb *BodyBuilder) InstanceOf(dst, a int, cls *Class) int {
+	bb.touch(dst, a)
+	return bb.emit(Instr{Op: OpInstanceOf, Dst: dst, A: a, Class: cls, B: -1, C2: -1, AllocSite: -1})
+}
+
+// Seal finalizes the program: assigns field slots (including inheritance),
+// numbers instructions and allocation sites, resolves the entry point, and
+// validates every method body.
+func (b *Builder) Seal(mainClass, mainMethod string) (*Program, error) {
+	p := &Program{
+		Classes:     b.classes,
+		Statics:     b.statics,
+		classByName: b.classByName,
+	}
+
+	// Assign field slots in superclass-first order. Detect inheritance
+	// cycles while we are at it.
+	sealed := make(map[*Class]bool)
+	var sealClass func(c *Class, trail map[*Class]bool) error
+	sealClass = func(c *Class, trail map[*Class]bool) error {
+		if sealed[c] {
+			return nil
+		}
+		if trail[c] {
+			return fmt.Errorf("ir: inheritance cycle through class %s", c.Name)
+		}
+		trail[c] = true
+		base := 0
+		if c.Super != nil {
+			if err := sealClass(c.Super, trail); err != nil {
+				return err
+			}
+			base = c.Super.fieldsN
+		}
+		for i, f := range c.Fields {
+			f.Slot = base + i
+		}
+		c.fieldsN = base + len(c.Fields)
+		c.refSlots = make([]bool, c.fieldsN)
+		if c.Super != nil {
+			copy(c.refSlots, c.Super.refSlots)
+		}
+		for _, f := range c.Fields {
+			c.refSlots[f.Slot] = f.Type.IsRef()
+		}
+		sealed[c] = true
+		delete(trail, c)
+		return nil
+	}
+	for _, c := range b.classes {
+		if err := sealClass(c, make(map[*Class]bool)); err != nil {
+			return nil, err
+		}
+	}
+
+	p.fieldsByID = make([]*Field, b.nextField)
+	for _, c := range b.classes {
+		for _, f := range c.Fields {
+			p.fieldsByID[f.ID] = f
+		}
+	}
+	p.NumFields = b.nextField
+
+	// Number methods, instructions and allocation sites.
+	nextMethod := 0
+	for _, c := range b.classes {
+		for _, m := range c.Methods {
+			m.ID = nextMethod
+			nextMethod++
+			for i := range m.Code {
+				in := &m.Code[i]
+				in.ID = len(p.Instrs)
+				in.Method = m
+				if in.IsAlloc() {
+					in.AllocSite = len(p.AllocSites)
+					p.AllocSites = append(p.AllocSites, in)
+				}
+				p.Instrs = append(p.Instrs, in)
+			}
+		}
+	}
+
+	mc := b.classByName[mainClass]
+	if mc == nil {
+		return nil, fmt.Errorf("ir: main class %q not found", mainClass)
+	}
+	p.Main = mc.LookupMethod(mainMethod)
+	if p.Main == nil {
+		return nil, fmt.Errorf("ir: main method %s.%s not found", mainClass, mainMethod)
+	}
+	if !p.Main.Static || p.Main.Params != 0 {
+		return nil, fmt.Errorf("ir: main method %s must be static with no parameters", p.Main.QualifiedName())
+	}
+
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,288 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildLinear(t *testing.T) (*Builder, *Class) {
+	t.Helper()
+	b := NewBuilder()
+	cls := b.Class("Main", nil)
+	return b, cls
+}
+
+func TestSealAssignsInstrAndSiteIDs(t *testing.T) {
+	b, cls := buildLinear(t)
+	other := b.Class("Other", nil)
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.New(0, other)
+	mb.New(1, other)
+	mb.Const(2, 5)
+	mb.NewArray(3, IntType, 2)
+	mb.ReturnVoid()
+
+	prog, err := b.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.NumInstrs(); got != 5 {
+		t.Fatalf("NumInstrs = %d, want 5", got)
+	}
+	if got := prog.NumAllocSites(); got != 3 {
+		t.Fatalf("NumAllocSites = %d, want 3", got)
+	}
+	for i, in := range prog.Instrs {
+		if in.ID != i {
+			t.Errorf("instr %d has ID %d", i, in.ID)
+		}
+		if in.Method != m {
+			t.Errorf("instr %d not linked to method", i)
+		}
+	}
+	for i, site := range prog.AllocSites {
+		if site.AllocSite != i {
+			t.Errorf("alloc site %d has index %d", i, site.AllocSite)
+		}
+	}
+}
+
+func TestFieldSlotsWithInheritance(t *testing.T) {
+	b := NewBuilder()
+	base := b.Class("Base", nil)
+	b.Field(base, "x", IntType)
+	b.Field(base, "y", IntType)
+	derived := b.Class("Derived", base)
+	fz := b.Field(derived, "z", IntType)
+
+	cls := b.Class("Main", nil)
+	m := b.Method(cls, "main", true, 0, nil)
+	b.Body(m).ReturnVoid()
+	if _, err := b.Seal("Main", "main"); err != nil {
+		t.Fatal(err)
+	}
+	if fz.Slot != 2 {
+		t.Errorf("Derived.z slot = %d, want 2", fz.Slot)
+	}
+	if derived.NumFieldSlots() != 3 {
+		t.Errorf("Derived slots = %d, want 3", derived.NumFieldSlots())
+	}
+	if got := derived.LookupField("x"); got == nil || got.Slot != 0 {
+		t.Errorf("LookupField(x) = %v", got)
+	}
+	if !derived.IsSubclassOf(base) || base.IsSubclassOf(derived) {
+		t.Error("IsSubclassOf misbehaves")
+	}
+}
+
+func TestInheritanceCycleRejected(t *testing.T) {
+	b := NewBuilder()
+	a := b.Class("A", nil)
+	c := b.Class("C", a)
+	a.Super = c // create a cycle behind the builder's back
+	cls := b.Class("Main", nil)
+	m := b.Method(cls, "main", true, 0, nil)
+	b.Body(m).ReturnVoid()
+	if _, err := b.Seal("Main", "main"); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want inheritance-cycle error, got %v", err)
+	}
+}
+
+func TestVirtualLookupPrefersOverride(t *testing.T) {
+	b := NewBuilder()
+	base := b.Class("Base", nil)
+	mBase := b.Method(base, "foo", false, 1, IntType)
+	bb := b.Body(mBase)
+	bb.Const(1, 1)
+	bb.Return(1)
+	derived := b.Class("Derived", base)
+	mDer := b.Method(derived, "foo", false, 1, IntType)
+	db := b.Body(mDer)
+	db.Const(1, 2)
+	db.Return(1)
+
+	cls := b.Class("Main", nil)
+	m := b.Method(cls, "main", true, 0, nil)
+	b.Body(m).ReturnVoid()
+	if _, err := b.Seal("Main", "main"); err != nil {
+		t.Fatal(err)
+	}
+	if derived.LookupMethod("foo") != mDer {
+		t.Error("derived lookup should find override")
+	}
+	if base.LookupMethod("foo") != mBase {
+		t.Error("base lookup should find base method")
+	}
+}
+
+func TestValidateCatchesBadBranch(t *testing.T) {
+	b, cls := buildLinear(t)
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.Const(0, 1)
+	mb.Goto(99)
+	mb.ReturnVoid()
+	if _, err := b.Seal("Main", "main"); err == nil || !strings.Contains(err.Error(), "branch target") {
+		t.Fatalf("want branch-target error, got %v", err)
+	}
+}
+
+func TestValidateCatchesFallOff(t *testing.T) {
+	b, cls := buildLinear(t)
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.Const(0, 1) // no return
+	if _, err := b.Seal("Main", "main"); err == nil || !strings.Contains(err.Error(), "falls off") {
+		t.Fatalf("want fall-off error, got %v", err)
+	}
+}
+
+func TestValidateCatchesVoidMismatch(t *testing.T) {
+	b, cls := buildLinear(t)
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.Const(0, 1)
+	mb.m.Code = append(mb.m.Code, Instr{Op: OpReturn, A: 0, HasA: true, Dst: -1, B: -1, C2: -1})
+	if _, err := b.Seal("Main", "main"); err == nil || !strings.Contains(err.Error(), "value return from void") {
+		t.Fatalf("want void-mismatch error, got %v", err)
+	}
+}
+
+func TestValidateCatchesArgCount(t *testing.T) {
+	b, cls := buildLinear(t)
+	callee := b.Method(cls, "two", true, 2, IntType)
+	cb := b.Body(callee)
+	cb.Const(2, 0)
+	cb.Return(2)
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.Const(0, 1)
+	mb.Call(1, callee, 0) // one arg for a two-arg method
+	mb.ReturnVoid()
+	if _, err := b.Seal("Main", "main"); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Fatalf("want arg-count error, got %v", err)
+	}
+}
+
+func TestSealRejectsMissingMain(t *testing.T) {
+	b, cls := buildLinear(t)
+	m := b.Method(cls, "main", true, 0, nil)
+	b.Body(m).ReturnVoid()
+	if _, err := b.Seal("Nope", "main"); err == nil {
+		t.Fatal("want missing-class error")
+	}
+	if _, err := b.Seal("Main", "nope"); err == nil {
+		t.Fatal("want missing-method error")
+	}
+}
+
+func TestSealRejectsNonStaticMain(t *testing.T) {
+	b, cls := buildLinear(t)
+	m := b.Method(cls, "main", false, 1, nil)
+	b.Body(m).ReturnVoid()
+	if _, err := b.Seal("Main", "main"); err == nil {
+		t.Fatal("want non-static-main error")
+	}
+}
+
+func TestDisassembleMentionsEverything(t *testing.T) {
+	b := NewBuilder()
+	cls := b.Class("Main", nil)
+	f := b.Field(cls, "x", IntType)
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.New(0, cls)
+	mb.Const(1, 42)
+	mb.StoreField(0, f, 1)
+	mb.LoadField(2, 0, f)
+	mb.Native(-1, NativePrint, 2)
+	mb.ReturnVoid()
+	prog, err := b.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := prog.Disassemble()
+	for _, want := range []string{"class Main", "field int x", "new Main", "v0.x = v1", "v2 = v0.x", "native print", "42"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	b := NewBuilder()
+	cls := b.Class("Foo", nil)
+	rt := b.RefType(cls)
+	at := b.ArrayType(rt)
+	aat := b.ArrayType(at)
+	cases := []struct {
+		typ  *Type
+		want string
+	}{
+		{IntType, "int"},
+		{rt, "Foo"},
+		{at, "Foo[]"},
+		{aat, "Foo[][]"},
+		{nil, "void"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if b.RefType(cls) != rt {
+		t.Error("RefType not interned")
+	}
+	if b.ArrayType(rt) != at {
+		t.Error("ArrayType not interned")
+	}
+}
+
+// Property: for any class shape (number of fields per class along a chain),
+// field slots are dense, unique, and superclass-first.
+func TestFieldSlotDensityProperty(t *testing.T) {
+	f := func(counts []uint8) bool {
+		if len(counts) == 0 || len(counts) > 6 {
+			return true // trivially pass out-of-shape inputs
+		}
+		b := NewBuilder()
+		var prev *Class
+		var all []*Field
+		for ci, cnt := range counts {
+			c := b.Class(string(rune('A'+ci)), prev)
+			for fi := 0; fi < int(cnt%5); fi++ {
+				all = append(all, b.Field(c, string(rune('a'+fi)), IntType))
+			}
+			prev = c
+		}
+		cls := b.Class("Main", nil)
+		m := b.Method(cls, "main", true, 0, nil)
+		b.Body(m).ReturnVoid()
+		if _, err := b.Seal("Main", "main"); err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for i, f := range all {
+			if f.Slot != i { // declaration order along the chain == slot order
+				return false
+			}
+			if seen[f.Slot] {
+				return false
+			}
+			seen[f.Slot] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalNameFallback(t *testing.T) {
+	m := &Method{LocalNames: []string{"this", "x"}}
+	if m.LocalName(0) != "this" || m.LocalName(1) != "x" || m.LocalName(5) != "v5" {
+		t.Errorf("LocalName fallback broken: %q %q %q", m.LocalName(0), m.LocalName(1), m.LocalName(5))
+	}
+}

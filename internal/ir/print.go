@@ -1,0 +1,51 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders the whole program as text, one method at a time, in a
+// stable order. It is used by tests and the CLI's -dump flag.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	classes := make([]*Class, len(p.Classes))
+	copy(classes, p.Classes)
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Name < classes[j].Name })
+	for _, c := range classes {
+		fmt.Fprintf(&sb, "class %s", c.Name)
+		if c.Super != nil {
+			fmt.Fprintf(&sb, " extends %s", c.Super.Name)
+		}
+		sb.WriteString(" {\n")
+		for _, f := range c.Fields {
+			fmt.Fprintf(&sb, "  field %s %s [slot %d]\n", f.Type, f.Name, f.Slot)
+		}
+		for _, m := range c.Methods {
+			sb.WriteString(m.Disassemble("  "))
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+// Disassemble renders a single method body with the given indentation.
+func (m *Method) Disassemble(indent string) string {
+	var sb strings.Builder
+	kind := "method"
+	if m.Static {
+		kind = "static method"
+	}
+	ret := "void"
+	if m.Returns != nil {
+		ret = m.Returns.String()
+	}
+	fmt.Fprintf(&sb, "%s%s %s %s(params=%d, locals=%d) {\n",
+		indent, kind, ret, m.Name, m.Params, m.NumLocals)
+	for pc := range m.Code {
+		fmt.Fprintf(&sb, "%s  %3d: %s\n", indent, pc, m.Code[pc].String())
+	}
+	fmt.Fprintf(&sb, "%s}\n", indent)
+	return sb.String()
+}

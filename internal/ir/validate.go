@@ -1,0 +1,171 @@
+package ir
+
+import "fmt"
+
+// validate checks structural well-formedness of every method body: branch
+// targets in range, operand slots in range, bodies terminated, calls
+// argument-count-consistent. It does not type-check locals (the MJ front end
+// does that before lowering; hand-built programs get dynamic checks from the
+// interpreter).
+func (p *Program) validate() error {
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			if err := validateMethod(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateMethod(m *Method) error {
+	n := len(m.Code)
+	if n == 0 {
+		return fmt.Errorf("ir: %s: empty body", m.QualifiedName())
+	}
+	errf := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("ir: %s pc %d (%s): %s", m.QualifiedName(), pc, m.Code[pc].String(), fmt.Sprintf(format, args...))
+	}
+	checkSlot := func(pc, s int, what string) error {
+		if s < 0 || s >= m.NumLocals {
+			return errf(pc, "%s slot %d out of range [0,%d)", what, s, m.NumLocals)
+		}
+		return nil
+	}
+	for pc := range m.Code {
+		in := &m.Code[pc]
+		switch in.Op {
+		case OpIf, OpGoto:
+			if in.Target < 0 || in.Target >= n {
+				return errf(pc, "branch target %d out of range [0,%d)", in.Target, n)
+			}
+		}
+		if in.Dst >= 0 {
+			if err := checkSlot(pc, in.Dst, "dst"); err != nil {
+				return err
+			}
+		}
+		// Operand presence per opcode.
+		switch in.Op {
+		case OpMove, OpNeg, OpNot, OpArrayLen, OpNewArray:
+			if err := checkSlot(pc, in.A, "a"); err != nil {
+				return err
+			}
+		case OpBin, OpALoad, OpIf:
+			if err := checkSlot(pc, in.A, "a"); err != nil {
+				return err
+			}
+			if err := checkSlot(pc, in.B, "b"); err != nil {
+				return err
+			}
+		case OpLoadField:
+			if err := checkSlot(pc, in.A, "base"); err != nil {
+				return err
+			}
+			if in.Field == nil {
+				return errf(pc, "nil field")
+			}
+		case OpStoreField:
+			if err := checkSlot(pc, in.A, "base"); err != nil {
+				return err
+			}
+			if err := checkSlot(pc, in.B, "src"); err != nil {
+				return err
+			}
+			if in.Field == nil {
+				return errf(pc, "nil field")
+			}
+		case OpLoadStatic:
+			if in.Static == nil {
+				return errf(pc, "nil static")
+			}
+		case OpStoreStatic:
+			if in.Static == nil {
+				return errf(pc, "nil static")
+			}
+			if err := checkSlot(pc, in.A, "src"); err != nil {
+				return err
+			}
+		case OpAStore:
+			for _, s := range [][2]any{{in.A, "arr"}, {in.B, "idx"}, {in.C2, "src"}} {
+				if err := checkSlot(pc, s[0].(int), s[1].(string)); err != nil {
+					return err
+				}
+			}
+		case OpNew, OpInstanceOf:
+			if in.Class == nil {
+				return errf(pc, "nil class")
+			}
+		case OpCall:
+			if in.Callee == nil {
+				return errf(pc, "nil callee")
+			}
+			if len(in.Args) != in.Callee.Params {
+				return errf(pc, "call passes %d args, callee %s takes %d",
+					len(in.Args), in.Callee.QualifiedName(), in.Callee.Params)
+			}
+			if in.Dst >= 0 && in.Callee.Returns == nil {
+				return errf(pc, "call stores result of void method %s", in.Callee.QualifiedName())
+			}
+			for _, a := range in.Args {
+				if err := checkSlot(pc, a, "arg"); err != nil {
+					return err
+				}
+			}
+		case OpNative:
+			for _, a := range in.Args {
+				if err := checkSlot(pc, a, "arg"); err != nil {
+					return err
+				}
+			}
+		case OpReturn:
+			if in.HasA {
+				if m.Returns == nil {
+					return errf(pc, "value return from void method")
+				}
+				if err := checkSlot(pc, in.A, "ret"); err != nil {
+					return err
+				}
+			} else if m.Returns != nil {
+				return errf(pc, "void return from value-returning method")
+			}
+		}
+	}
+	// Every path must end in a return: conservatively require the last
+	// instruction to be a return or an unconditional jump backwards, and
+	// check fall-off via a simple reachability walk.
+	if err := checkTermination(m); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkTermination verifies no reachable path falls off the end of the body.
+func checkTermination(m *Method) error {
+	n := len(m.Code)
+	seen := make([]bool, n)
+	stack := []int{0}
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if pc >= n {
+			return fmt.Errorf("ir: %s: control falls off the end of the body", m.QualifiedName())
+		}
+		if seen[pc] {
+			continue
+		}
+		seen[pc] = true
+		in := &m.Code[pc]
+		switch in.Op {
+		case OpReturn:
+			// terminal
+		case OpGoto:
+			stack = append(stack, in.Target)
+		case OpIf:
+			stack = append(stack, in.Target, pc+1)
+		default:
+			stack = append(stack, pc+1)
+		}
+	}
+	return nil
+}

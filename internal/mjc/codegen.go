@@ -1,0 +1,857 @@
+package mjc
+
+import (
+	"strings"
+
+	"lowutil/internal/ast"
+	"lowutil/internal/ir"
+	"lowutil/internal/lexer"
+)
+
+// fnCtx is the per-method lowering context.
+type fnCtx struct {
+	c  *compiler
+	cs *classSym
+	ms *methodSym
+	bb *ir.BodyBuilder
+
+	scope    *scope
+	nextSlot int
+	loops    []*loopCtx
+}
+
+type scope struct {
+	vars   map[string]*local
+	parent *scope
+	mark   int // nextSlot at scope entry
+}
+
+type local struct {
+	name string
+	slot int
+	typ  *ir.Type
+}
+
+type loopCtx struct {
+	breakJumps    []int
+	continueJumps []int
+}
+
+func (c *compiler) lowerMethod(cs *classSym, md *ast.MethodDecl) error {
+	ms := cs.methods[md.Name]
+	fn := &fnCtx{
+		c:  c,
+		cs: cs,
+		ms: ms,
+		bb: c.b.Body(ms.m),
+	}
+	fn.scope = &scope{vars: make(map[string]*local)}
+
+	// Bind formals. Instance methods hold the receiver in slot 0.
+	names := []string{}
+	if !md.Static {
+		names = append(names, "this")
+		fn.nextSlot = 1
+	}
+	for i, p := range md.Params {
+		if fn.lookupLocal(p.Name) != nil || p.Name == "this" {
+			return errf(p.Pos, "duplicate parameter %s", p.Name)
+		}
+		fn.scope.vars[p.Name] = &local{name: p.Name, slot: fn.nextSlot, typ: ms.params[i]}
+		names = append(names, p.Name)
+		fn.nextSlot++
+	}
+	ms.m.LocalNames = names
+
+	if err := fn.lowerBlock(md.Body); err != nil {
+		return err
+	}
+	if ms.returns == nil {
+		fn.bb.ReturnVoid()
+	} else if !fn.terminates(md.Body) {
+		return errf(md.Pos, "method %s.%s: control may reach the end without returning a value",
+			cs.decl.Name, md.Name)
+	}
+	return nil
+}
+
+// terminates conservatively reports whether every path through s returns.
+func (fn *fnCtx) terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.Block:
+		for _, inner := range st.Stmts {
+			if fn.terminates(inner) {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		return st.Else != nil && fn.terminates(st.Then) && fn.terminates(st.Else)
+	case *ast.WhileStmt:
+		// while(true) without break terminates the analysis question in the
+		// Java sense, but we stay conservative.
+		return false
+	default:
+		return false
+	}
+}
+
+func (fn *fnCtx) lookupLocal(name string) *local {
+	for s := fn.scope; s != nil; s = s.parent {
+		if l, ok := s.vars[name]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+func (fn *fnCtx) allocTmp() int {
+	s := fn.nextSlot
+	fn.nextSlot++
+	return s
+}
+
+// ---- Statements ----
+
+func (fn *fnCtx) lowerBlock(b *ast.Block) error {
+	fn.scope = &scope{vars: make(map[string]*local), parent: fn.scope, mark: fn.nextSlot}
+	for _, s := range b.Stmts {
+		if err := fn.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	fn.nextSlot = fn.scope.mark
+	fn.scope = fn.scope.parent
+	return nil
+}
+
+func (fn *fnCtx) lowerStmt(s ast.Stmt) error {
+	fn.bb.Line(s.StmtPos().Line)
+	mark := fn.nextSlot
+	switch st := s.(type) {
+	case *ast.Block:
+		return fn.lowerBlock(st)
+
+	case *ast.VarDecl:
+		if _, dup := fn.scope.vars[st.Name]; dup || st.Name == "this" {
+			return errf(st.Pos, "duplicate variable %s", st.Name)
+		}
+		typ, err := fn.c.resolveType(st.Type)
+		if err != nil {
+			return err
+		}
+		slot := fn.allocTmp() // permanent: survives the statement reset below
+		fn.scope.vars[st.Name] = &local{name: st.Name, slot: slot, typ: typ}
+		if st.Init != nil {
+			rs, rt, err := fn.genExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if !fn.c.assignable(typ, rt) {
+				return errf(st.Pos, "cannot initialize %s %s with %s", typeName(typ), st.Name, typeName(rt))
+			}
+			fn.bb.Move(slot, rs)
+		} else if typ.IsRef() {
+			fn.bb.Null(slot)
+		} else {
+			fn.bb.Const(slot, 0)
+		}
+		fn.nextSlot = slot + 1
+		return nil
+
+	case *ast.AssignStmt:
+		err := fn.lowerAssign(st)
+		fn.nextSlot = mark
+		return err
+
+	case *ast.IfStmt:
+		falseJumps, err := fn.genBranch(st.Cond, false)
+		if err != nil {
+			return err
+		}
+		fn.nextSlot = mark
+		if err := fn.lowerStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			fn.patchAll(falseJumps, fn.bb.PC())
+			return nil
+		}
+		g := fn.bb.Goto(-1)
+		fn.patchAll(falseJumps, fn.bb.PC())
+		if err := fn.lowerStmt(st.Else); err != nil {
+			return err
+		}
+		fn.bb.Patch(g, fn.bb.PC())
+		return nil
+
+	case *ast.WhileStmt:
+		head := fn.bb.PC()
+		falseJumps, err := fn.genBranch(st.Cond, false)
+		if err != nil {
+			return err
+		}
+		fn.nextSlot = mark
+		lc := &loopCtx{}
+		fn.loops = append(fn.loops, lc)
+		if err := fn.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		fn.loops = fn.loops[:len(fn.loops)-1]
+		fn.patchAll(lc.continueJumps, head)
+		fn.bb.Goto(head)
+		end := fn.bb.PC()
+		fn.patchAll(falseJumps, end)
+		fn.patchAll(lc.breakJumps, end)
+		return nil
+
+	case *ast.ForStmt:
+		// for-init declarations scope to the loop.
+		fn.scope = &scope{vars: make(map[string]*local), parent: fn.scope, mark: fn.nextSlot}
+		if st.Init != nil {
+			if err := fn.lowerStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		head := fn.bb.PC()
+		var falseJumps []int
+		if st.Cond != nil {
+			var err error
+			falseJumps, err = fn.genBranch(st.Cond, false)
+			if err != nil {
+				return err
+			}
+			fn.nextSlot = fn.scope.mark + countDecls(st.Init)
+		}
+		lc := &loopCtx{}
+		fn.loops = append(fn.loops, lc)
+		if err := fn.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		fn.loops = fn.loops[:len(fn.loops)-1]
+		fn.patchAll(lc.continueJumps, fn.bb.PC())
+		if st.Post != nil {
+			if err := fn.lowerStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		fn.bb.Goto(head)
+		end := fn.bb.PC()
+		fn.patchAll(falseJumps, end)
+		fn.patchAll(lc.breakJumps, end)
+		fn.nextSlot = fn.scope.mark
+		fn.scope = fn.scope.parent
+		return nil
+
+	case *ast.ReturnStmt:
+		defer func() { fn.nextSlot = mark }()
+		if st.Value == nil {
+			if fn.ms.returns != nil {
+				return errf(st.Pos, "missing return value (method returns %s)", typeName(fn.ms.returns))
+			}
+			fn.bb.ReturnVoid()
+			return nil
+		}
+		if fn.ms.returns == nil {
+			return errf(st.Pos, "void method cannot return a value")
+		}
+		rs, rt, err := fn.genExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if !fn.c.assignable(fn.ms.returns, rt) {
+			return errf(st.Pos, "cannot return %s from method returning %s", typeName(rt), typeName(fn.ms.returns))
+		}
+		fn.bb.Return(rs)
+		return nil
+
+	case *ast.ExprStmt:
+		_, _, err := fn.genExpr(st.X)
+		fn.nextSlot = mark
+		return err
+
+	case *ast.BreakStmt:
+		if len(fn.loops) == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		lc := fn.loops[len(fn.loops)-1]
+		lc.breakJumps = append(lc.breakJumps, fn.bb.Goto(-1))
+		return nil
+
+	case *ast.ContinueStmt:
+		if len(fn.loops) == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		lc := fn.loops[len(fn.loops)-1]
+		lc.continueJumps = append(lc.continueJumps, fn.bb.Goto(-1))
+		return nil
+	}
+	return errf(s.StmtPos(), "unsupported statement")
+}
+
+// countDecls reports how many slots a for-init statement pins.
+func countDecls(s ast.Stmt) int {
+	if _, ok := s.(*ast.VarDecl); ok {
+		return 1
+	}
+	return 0
+}
+
+func (fn *fnCtx) patchAll(jumps []int, target int) {
+	for _, pc := range jumps {
+		fn.bb.Patch(pc, target)
+	}
+}
+
+func (fn *fnCtx) lowerAssign(st *ast.AssignStmt) error {
+	switch lhs := st.LHS.(type) {
+	case *ast.Name:
+		l := fn.lookupLocal(lhs.Ident)
+		if l == nil {
+			return errf(lhs.Pos, "undefined variable %s", lhs.Ident)
+		}
+		rs, rt, err := fn.genExpr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if !fn.c.assignable(l.typ, rt) {
+			return errf(st.Pos, "cannot assign %s to %s %s", typeName(rt), typeName(l.typ), lhs.Ident)
+		}
+		fn.bb.Move(l.slot, rs)
+		return nil
+
+	case *ast.FieldAccess:
+		objSlot, objT, err := fn.genExpr(lhs.X)
+		if err != nil {
+			return err
+		}
+		f, err := fn.resolveField(objT, lhs.Field, lhs.Pos)
+		if err != nil {
+			return err
+		}
+		rs, rt, err := fn.genExpr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if !fn.c.assignable(f.Type, rt) {
+			return errf(st.Pos, "cannot assign %s to field %s (%s)", typeName(rt), f.QualifiedName(), typeName(f.Type))
+		}
+		fn.bb.StoreField(objSlot, f, rs)
+		return nil
+
+	case *ast.IndexExpr:
+		arrSlot, arrT, err := fn.genExpr(lhs.X)
+		if err != nil {
+			return err
+		}
+		if !arrT.IsArray() {
+			return errf(lhs.Pos, "indexing non-array %s", typeName(arrT))
+		}
+		idxSlot, idxT, err := fn.genExpr(lhs.Index)
+		if err != nil {
+			return err
+		}
+		if idxT != ir.IntType {
+			return errf(lhs.Pos, "array index must be int, got %s", typeName(idxT))
+		}
+		rs, rt, err := fn.genExpr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if !fn.c.assignable(arrT.Elem, rt) {
+			return errf(st.Pos, "cannot store %s into %s", typeName(rt), typeName(arrT))
+		}
+		fn.bb.AStore(arrSlot, idxSlot, rs)
+		return nil
+	}
+	return errf(st.Pos, "invalid assignment target")
+}
+
+func (fn *fnCtx) resolveField(objT *ir.Type, name string, pos lexer.Pos) (*ir.Field, error) {
+	if objT == nil || !objT.IsRef() || objT.Class == nil {
+		return nil, errf(pos, "field access on non-object %s", typeName(objT))
+	}
+	f := fn.c.lookupField(fn.c.classSymOf(objT.Class), name)
+	if f == nil {
+		return nil, errf(pos, "class %s has no field %s", objT.Class.Name, name)
+	}
+	return f, nil
+}
+
+// ---- Expressions ----
+
+// genExpr lowers e, returning the slot holding the result and its type.
+// Void calls return slot -1 and nil type.
+func (fn *fnCtx) genExpr(e ast.Expr) (int, *ir.Type, error) {
+	switch ex := e.(type) {
+	case *ast.IntLit:
+		t := fn.allocTmp()
+		fn.bb.Const(t, ex.Value)
+		return t, ir.IntType, nil
+
+	case *ast.BoolLit:
+		t := fn.allocTmp()
+		v := int64(0)
+		if ex.Value {
+			v = 1
+		}
+		fn.bb.Const(t, v)
+		return t, ir.BoolType, nil
+
+	case *ast.NullLit:
+		t := fn.allocTmp()
+		fn.bb.Null(t)
+		return t, fn.c.nullType(), nil
+
+	case *ast.ThisExpr:
+		if fn.ms.decl.Static {
+			return 0, nil, errf(ex.Pos, "this used in static method")
+		}
+		return 0, fn.c.b.RefType(fn.cs.cls), nil
+
+	case *ast.Name:
+		l := fn.lookupLocal(ex.Ident)
+		if l == nil {
+			return 0, nil, errf(ex.Pos, "undefined variable %s (field access needs explicit this)", ex.Ident)
+		}
+		return l.slot, l.typ, nil
+
+	case *ast.UnaryExpr:
+		if ex.Op == lexer.Minus {
+			s, t, err := fn.genExpr(ex.X)
+			if err != nil {
+				return 0, nil, err
+			}
+			if t != ir.IntType {
+				return 0, nil, errf(ex.Pos, "unary - needs int, got %s", typeName(t))
+			}
+			d := fn.allocTmp()
+			fn.bb.Neg(d, s)
+			return d, ir.IntType, nil
+		}
+		// !x on booleans
+		s, t, err := fn.genExpr(ex.X)
+		if err != nil {
+			return 0, nil, err
+		}
+		if t != ir.BoolType {
+			return 0, nil, errf(ex.Pos, "! needs boolean, got %s", typeName(t))
+		}
+		d := fn.allocTmp()
+		fn.bb.Not(d, s)
+		return d, ir.BoolType, nil
+
+	case *ast.BinaryExpr:
+		return fn.genBinary(ex)
+
+	case *ast.FieldAccess:
+		objSlot, objT, err := fn.genExpr(ex.X)
+		if err != nil {
+			return 0, nil, err
+		}
+		f, err := fn.resolveField(objT, ex.Field, ex.Pos)
+		if err != nil {
+			return 0, nil, err
+		}
+		d := fn.allocTmp()
+		fn.bb.LoadField(d, objSlot, f)
+		return d, f.Type, nil
+
+	case *ast.IndexExpr:
+		arrSlot, arrT, err := fn.genExpr(ex.X)
+		if err != nil {
+			return 0, nil, err
+		}
+		if arrT == nil || !arrT.IsArray() {
+			return 0, nil, errf(ex.Pos, "indexing non-array %s", typeName(arrT))
+		}
+		idxSlot, idxT, err := fn.genExpr(ex.Index)
+		if err != nil {
+			return 0, nil, err
+		}
+		if idxT != ir.IntType {
+			return 0, nil, errf(ex.Pos, "array index must be int, got %s", typeName(idxT))
+		}
+		d := fn.allocTmp()
+		fn.bb.ALoad(d, arrSlot, idxSlot)
+		return d, arrT.Elem, nil
+
+	case *ast.LenExpr:
+		arrSlot, arrT, err := fn.genExpr(ex.X)
+		if err != nil {
+			return 0, nil, err
+		}
+		if arrT == nil || !arrT.IsArray() {
+			return 0, nil, errf(ex.Pos, ".length on non-array %s", typeName(arrT))
+		}
+		d := fn.allocTmp()
+		fn.bb.ArrayLen(d, arrSlot)
+		return d, ir.IntType, nil
+
+	case *ast.NewExpr:
+		cs, ok := fn.c.classes[ex.Class]
+		if !ok {
+			return 0, nil, errf(ex.Pos, "unknown class %s", ex.Class)
+		}
+		d := fn.allocTmp()
+		fn.bb.New(d, cs.cls)
+		return d, fn.c.b.RefType(cs.cls), nil
+
+	case *ast.NewArrayExpr:
+		elem, err := fn.c.resolveType(&ast.TypeRef{Base: ex.Base, Dims: ex.Dims - 1, Pos: ex.Pos})
+		if err != nil {
+			return 0, nil, err
+		}
+		lenSlot, lenT, err := fn.genExpr(ex.Len)
+		if err != nil {
+			return 0, nil, err
+		}
+		if lenT != ir.IntType {
+			return 0, nil, errf(ex.Pos, "array length must be int, got %s", typeName(lenT))
+		}
+		d := fn.allocTmp()
+		fn.bb.NewArray(d, elem, lenSlot)
+		return d, fn.c.b.ArrayType(elem), nil
+
+	case *ast.InstanceOfExpr:
+		s, t, err := fn.genExpr(ex.X)
+		if err != nil {
+			return 0, nil, err
+		}
+		if t == nil || !t.IsRef() {
+			return 0, nil, errf(ex.Pos, "instanceof on non-reference %s", typeName(t))
+		}
+		cs, ok := fn.c.classes[ex.Class]
+		if !ok {
+			return 0, nil, errf(ex.Pos, "unknown class %s", ex.Class)
+		}
+		d := fn.allocTmp()
+		fn.bb.InstanceOf(d, s, cs.cls)
+		return d, ir.BoolType, nil
+
+	case *ast.CallExpr:
+		return fn.genCall(ex)
+	}
+	return 0, nil, errf(e.ExprPos(), "unsupported expression")
+}
+
+// intBinOps maps arithmetic tokens to IR operators.
+var intBinOps = map[lexer.Kind]ir.BinOp{
+	lexer.Plus: ir.Add, lexer.Minus: ir.Sub, lexer.Star: ir.Mul,
+	lexer.Slash: ir.Div, lexer.Percent: ir.Rem,
+	lexer.Amp: ir.And, lexer.Pipe: ir.Or, lexer.Caret: ir.Xor,
+	lexer.Shl: ir.Shl, lexer.Shr: ir.Shr,
+}
+
+// cmpOps maps comparison tokens to IR comparisons.
+var cmpOps = map[lexer.Kind]ir.Cmp{
+	lexer.Eq: ir.Eq, lexer.Ne: ir.Ne, lexer.Lt: ir.Lt,
+	lexer.Le: ir.Le, lexer.Gt: ir.Gt, lexer.Ge: ir.Ge,
+}
+
+// negCmp returns the complementary comparison.
+var negCmp = map[ir.Cmp]ir.Cmp{
+	ir.Eq: ir.Ne, ir.Ne: ir.Eq, ir.Lt: ir.Ge, ir.Ge: ir.Lt, ir.Le: ir.Gt, ir.Gt: ir.Le,
+}
+
+func (fn *fnCtx) genBinary(ex *ast.BinaryExpr) (int, *ir.Type, error) {
+	if op, ok := intBinOps[ex.Op]; ok {
+		ls, lt, err := fn.genExpr(ex.L)
+		if err != nil {
+			return 0, nil, err
+		}
+		rs, rt, err := fn.genExpr(ex.R)
+		if err != nil {
+			return 0, nil, err
+		}
+		if lt != ir.IntType || rt != ir.IntType {
+			return 0, nil, errf(ex.Pos, "operator %s needs int operands, got %s and %s",
+				ex.Op, typeName(lt), typeName(rt))
+		}
+		d := fn.allocTmp()
+		fn.bb.Bin(d, op, ls, rs)
+		return d, ir.IntType, nil
+	}
+	// Comparisons and short-circuit operators materialize a boolean.
+	if _, isCmp := cmpOps[ex.Op]; isCmp || ex.Op == lexer.AmpAmp || ex.Op == lexer.PipePipe {
+		d := fn.allocTmp()
+		falseJumps, err := fn.genBranch(ex, false)
+		if err != nil {
+			return 0, nil, err
+		}
+		fn.bb.Const(d, 1)
+		g := fn.bb.Goto(-1)
+		fn.patchAll(falseJumps, fn.bb.PC())
+		fn.bb.Const(d, 0)
+		fn.bb.Patch(g, fn.bb.PC())
+		return d, ir.BoolType, nil
+	}
+	return 0, nil, errf(ex.Pos, "unsupported binary operator %s", ex.Op)
+}
+
+// genBranch emits code that jumps (targets to be patched by the caller) when
+// the condition evaluates to `when`, and falls through otherwise.
+func (fn *fnCtx) genBranch(e ast.Expr, when bool) ([]int, error) {
+	switch ex := e.(type) {
+	case *ast.BoolLit:
+		if ex.Value == when {
+			return []int{fn.bb.Goto(-1)}, nil
+		}
+		return nil, nil
+
+	case *ast.UnaryExpr:
+		if ex.Op == lexer.Bang {
+			return fn.genBranch(ex.X, !when)
+		}
+
+	case *ast.BinaryExpr:
+		if cmp, ok := cmpOps[ex.Op]; ok {
+			ls, lt, err := fn.genExpr(ex.L)
+			if err != nil {
+				return nil, err
+			}
+			rs, rt, err := fn.genExpr(ex.R)
+			if err != nil {
+				return nil, err
+			}
+			if err := fn.checkComparable(ex, lt, rt); err != nil {
+				return nil, err
+			}
+			if !when {
+				cmp = negCmp[cmp]
+			}
+			return []int{fn.bb.If(ls, cmp, rs, -1)}, nil
+		}
+		switch {
+		case ex.Op == lexer.AmpAmp && when:
+			skip, err := fn.genBranch(ex.L, false)
+			if err != nil {
+				return nil, err
+			}
+			jumps, err := fn.genBranch(ex.R, true)
+			if err != nil {
+				return nil, err
+			}
+			fn.patchAll(skip, fn.bb.PC())
+			return jumps, nil
+		case ex.Op == lexer.AmpAmp && !when:
+			j1, err := fn.genBranch(ex.L, false)
+			if err != nil {
+				return nil, err
+			}
+			j2, err := fn.genBranch(ex.R, false)
+			if err != nil {
+				return nil, err
+			}
+			return append(j1, j2...), nil
+		case ex.Op == lexer.PipePipe && when:
+			j1, err := fn.genBranch(ex.L, true)
+			if err != nil {
+				return nil, err
+			}
+			j2, err := fn.genBranch(ex.R, true)
+			if err != nil {
+				return nil, err
+			}
+			return append(j1, j2...), nil
+		case ex.Op == lexer.PipePipe && !when:
+			skip, err := fn.genBranch(ex.L, true)
+			if err != nil {
+				return nil, err
+			}
+			jumps, err := fn.genBranch(ex.R, false)
+			if err != nil {
+				return nil, err
+			}
+			fn.patchAll(skip, fn.bb.PC())
+			return jumps, nil
+		}
+	}
+
+	// Generic boolean expression: evaluate and compare against zero.
+	s, t, err := fn.genExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	if t != ir.BoolType {
+		return nil, errf(e.ExprPos(), "condition must be boolean, got %s", typeName(t))
+	}
+	z := fn.allocTmp()
+	fn.bb.Const(z, 0)
+	cmp := ir.Ne
+	if !when {
+		cmp = ir.Eq
+	}
+	return []int{fn.bb.If(s, cmp, z, -1)}, nil
+}
+
+// checkComparable validates operand types of a comparison.
+func (fn *fnCtx) checkComparable(ex *ast.BinaryExpr, lt, rt *ir.Type) error {
+	eq := ex.Op == lexer.Eq || ex.Op == lexer.Ne
+	switch {
+	case lt == ir.IntType && rt == ir.IntType:
+		return nil
+	case eq && lt == ir.BoolType && rt == ir.BoolType:
+		return nil
+	case eq && lt != nil && rt != nil && lt.IsRef() && rt.IsRef():
+		if fn.c.assignable(lt, rt) || fn.c.assignable(rt, lt) {
+			return nil
+		}
+		return errf(ex.Pos, "incomparable reference types %s and %s", typeName(lt), typeName(rt))
+	}
+	return errf(ex.Pos, "operator %s cannot compare %s and %s", ex.Op, typeName(lt), typeName(rt))
+}
+
+// nativeSigs describes the native functions: parameter kinds ('i' int,
+// 'b' boolean, 'a' any scalar, '*' = any number of ints) and whether a
+// value is returned.
+var nativeSigs = map[string]struct {
+	fn      ir.NativeFn
+	params  string
+	returns *ir.Type
+}{
+	"print":          {ir.NativePrint, "a", nil},
+	"printChar":      {ir.NativePrintChar, "i", nil},
+	"rand":           {ir.NativeRand, "i", ir.IntType},
+	"time":           {ir.NativeTime, "", ir.IntType},
+	"floatToIntBits": {ir.NativeFloatToBits, "i", ir.IntType},
+	"intBitsToFloat": {ir.NativeBitsToFloat, "i", ir.IntType},
+	"assert":         {ir.NativeAssert, "b", nil},
+	"dbQuery":        {ir.NativeDBQuery, "*", ir.IntType},
+	"hash":           {ir.NativeHash, "i", ir.IntType},
+}
+
+func (fn *fnCtx) genCall(ex *ast.CallExpr) (int, *ir.Type, error) {
+	// Class-qualified static call: ClassName.method(args). A bare name that
+	// is not a local but names a class qualifies.
+	if name, ok := ex.X.(*ast.Name); ok && fn.lookupLocal(name.Ident) == nil {
+		cs, isClass := fn.c.classes[name.Ident]
+		if !isClass {
+			return 0, nil, errf(name.Pos, "undefined variable %s", name.Ident)
+		}
+		ms := fn.c.lookupMethod(cs, ex.Method)
+		if ms == nil {
+			return 0, nil, errf(ex.Pos, "class %s has no method %s", name.Ident, ex.Method)
+		}
+		if !ms.decl.Static {
+			return 0, nil, errf(ex.Pos, "instance method %s.%s needs a receiver", name.Ident, ex.Method)
+		}
+		return fn.emitCall(ex, ms, -1)
+	}
+
+	// Qualified call: receiver.method(args).
+	if ex.X != nil {
+		recvSlot, recvT, err := fn.genExpr(ex.X)
+		if err != nil {
+			return 0, nil, err
+		}
+		if recvT == nil || !recvT.IsRef() || recvT.Class == nil {
+			return 0, nil, errf(ex.Pos, "method call on non-object %s", typeName(recvT))
+		}
+		ms := fn.c.lookupMethod(fn.c.classSymOf(recvT.Class), ex.Method)
+		if ms == nil {
+			return 0, nil, errf(ex.Pos, "class %s has no method %s", recvT.Class.Name, ex.Method)
+		}
+		if ms.decl.Static {
+			return 0, nil, errf(ex.Pos, "cannot call static method %s through an instance", ex.Method)
+		}
+		return fn.emitCall(ex, ms, recvSlot)
+	}
+
+	// Unqualified: a method of the current class, else a native.
+	if ms := fn.c.lookupMethod(fn.cs, ex.Method); ms != nil {
+		if ms.decl.Static {
+			return fn.emitCall(ex, ms, -1)
+		}
+		if fn.ms.decl.Static {
+			return 0, nil, errf(ex.Pos, "instance method %s called from static context (use an object)", ex.Method)
+		}
+		return fn.emitCall(ex, ms, 0) // implicit this
+	}
+	sig, ok := nativeSigs[ex.Method]
+	if !ok {
+		return 0, nil, errf(ex.Pos, "unknown function %s", ex.Method)
+	}
+	args := make([]int, 0, len(ex.Args))
+	if sig.params == "*" {
+		for _, a := range ex.Args {
+			s, t, err := fn.genExpr(a)
+			if err != nil {
+				return 0, nil, err
+			}
+			if t != ir.IntType {
+				return 0, nil, errf(a.ExprPos(), "%s takes int arguments, got %s", ex.Method, typeName(t))
+			}
+			args = append(args, s)
+		}
+	} else {
+		if len(ex.Args) != len(sig.params) {
+			return 0, nil, errf(ex.Pos, "%s takes %d argument(s), got %d", ex.Method, len(sig.params), len(ex.Args))
+		}
+		for i, a := range ex.Args {
+			s, t, err := fn.genExpr(a)
+			if err != nil {
+				return 0, nil, err
+			}
+			switch sig.params[i] {
+			case 'i':
+				if t != ir.IntType {
+					return 0, nil, errf(a.ExprPos(), "%s argument %d must be int, got %s",
+						ex.Method, i+1, typeName(t))
+				}
+			case 'b':
+				if t != ir.BoolType {
+					return 0, nil, errf(a.ExprPos(), "%s argument %d must be boolean, got %s",
+						ex.Method, i+1, typeName(t))
+				}
+			case 'a':
+				if t != ir.IntType && t != ir.BoolType {
+					return 0, nil, errf(a.ExprPos(), "%s argument %d must be int or boolean, got %s",
+						ex.Method, i+1, typeName(t))
+				}
+			}
+			args = append(args, s)
+		}
+	}
+	dst := -1
+	if sig.returns != nil {
+		dst = fn.allocTmp()
+	}
+	fn.bb.Native(dst, sig.fn, args...)
+	return dst, sig.returns, nil
+}
+
+// emitCall lowers a resolved method call. recvSlot is -1 for static calls.
+func (fn *fnCtx) emitCall(ex *ast.CallExpr, ms *methodSym, recvSlot int) (int, *ir.Type, error) {
+	if len(ex.Args) != len(ms.params) {
+		return 0, nil, errf(ex.Pos, "%s takes %d argument(s), got %d",
+			ms.m.QualifiedName(), len(ms.params), len(ex.Args))
+	}
+	args := make([]int, 0, len(ex.Args)+1)
+	if recvSlot >= 0 {
+		args = append(args, recvSlot)
+	}
+	for i, a := range ex.Args {
+		s, t, err := fn.genExpr(a)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !fn.c.assignable(ms.params[i], t) {
+			return 0, nil, errf(a.ExprPos(), "argument %d of %s: cannot pass %s as %s",
+				i+1, ms.m.QualifiedName(), typeName(t), typeName(ms.params[i]))
+		}
+		args = append(args, s)
+	}
+	dst := -1
+	if ms.returns != nil {
+		dst = fn.allocTmp()
+	}
+	fn.bb.Call(dst, ms.m, args...)
+	return dst, ms.returns, nil
+}
+
+// Source is a convenience for building multi-part programs in tests and
+// workloads: it joins fragments with newlines.
+func Source(parts ...string) string { return strings.Join(parts, "\n") }

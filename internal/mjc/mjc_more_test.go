@@ -1,0 +1,241 @@
+package mjc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestThreeLevelOverride(t *testing.T) {
+	wantOutput(t, `
+class A { int f() { return 1; } int g() { return 10; } }
+class B extends A { int f() { return 2; } }
+class C extends B { int g() { return 30; } }
+class Main {
+  static void main() {
+    A x = new C();
+    print(x.f());   // B's override via C
+    print(x.g());   // C's override
+    A y = new B();
+    print(y.g());   // A's inherited g
+  }
+}`, 2, 30, 10)
+}
+
+func TestPolymorphicArrayDispatch(t *testing.T) {
+	wantOutput(t, `
+class Shape { int area() { return 0; } }
+class Square extends Shape {
+  int side;
+  int area() { return this.side * this.side; }
+}
+class Circle extends Shape {
+  int r;
+  int area() { return 3 * this.r * this.r; }
+}
+class Main {
+  static void main() {
+    Shape[] shapes = new Shape[3];
+    Square sq = new Square();
+    sq.side = 4;
+    shapes[0] = sq;
+    Circle c = new Circle();
+    c.r = 2;
+    shapes[1] = c;
+    shapes[2] = new Shape();
+    int total = 0;
+    for (int i = 0; i < shapes.length; i = i + 1) {
+      total = total + shapes[i].area();
+    }
+    print(total); // 16 + 12 + 0
+  }
+}`, 28)
+}
+
+func TestArgumentSubtyping(t *testing.T) {
+	wantOutput(t, `
+class A { int tag() { return 1; } }
+class B extends A { int tag() { return 2; } }
+class User {
+  int use(A a) { return a.tag(); }
+}
+class Main {
+  static void main() {
+    User u = new User();
+    print(u.use(new B()));
+    print(u.use(new A()));
+  }
+}`, 2, 1)
+}
+
+func TestMethodChaining(t *testing.T) {
+	wantOutput(t, `
+class Builder {
+  int total;
+  Builder add(int v) { this.total = this.total + v; return this; }
+  int build() { return this.total; }
+}
+class Main {
+  static void main() {
+    Builder b = new Builder();
+    print(b.add(1).add(2).add(3).build());
+  }
+}`, 6)
+}
+
+func TestNestedLoopBreakContinueTargetInner(t *testing.T) {
+	wantOutput(t, `
+class Main {
+  static void main() {
+    int hits = 0;
+    for (int i = 0; i < 4; i = i + 1) {
+      for (int j = 0; j < 10; j = j + 1) {
+        if (j == 2) { continue; }  // inner continue
+        if (j > 4) { break; }      // inner break
+        hits = hits + 1;
+      }
+    }
+    print(hits); // 4 outer × (j=0,1,3,4) = 16
+  }
+}`, 16)
+}
+
+func TestCrossClassStaticCall(t *testing.T) {
+	wantOutput(t, `
+class MathUtil {
+  static int sq(int x) { return x * x; }
+  static int cube(int x) { return x * MathUtil.sq(x); }
+}
+class Main {
+  static void main() {
+    print(MathUtil.sq(5));
+    print(MathUtil.cube(3));
+  }
+}`, 25, 27)
+}
+
+func TestLongShortCircuitChains(t *testing.T) {
+	wantOutput(t, `
+class Main {
+  static boolean die() { print(999); return true; }
+  static void main() {
+    boolean a = true || Main.die() || Main.die();
+    boolean b = false && Main.die() && Main.die();
+    boolean c = (1 < 2) && (2 < 3) && (3 < 4) && (4 < 5);
+    if (a && !b && c) { print(1); } else { print(0); }
+  }
+}`, 1)
+}
+
+func TestRefFieldsDefaultNull(t *testing.T) {
+	wantOutput(t, `
+class Node { Node next; int v; }
+class Main {
+  static void main() {
+    Node n = new Node();
+    print(n.next == null);
+    print(n.v);
+    Node[] arr = new Node[2];
+    print(arr[0] == null);
+  }
+}`, 1, 0, 1)
+}
+
+func TestReturnInsideLoop(t *testing.T) {
+	wantOutput(t, `
+class Finder {
+  int firstOver(int[] xs, int limit) {
+    for (int i = 0; i < xs.length; i = i + 1) {
+      if (xs[i] > limit) { return xs[i]; }
+    }
+    return -1;
+  }
+}
+class Main {
+  static void main() {
+    int[] xs = new int[4];
+    xs[0] = 3; xs[1] = 9; xs[2] = 5; xs[3] = 20;
+    Finder f = new Finder();
+    print(f.firstOver(xs, 4));
+    print(f.firstOver(xs, 100));
+  }
+}`, 9, -1)
+}
+
+func TestSemicolonsAndSameLineStatements(t *testing.T) {
+	wantOutput(t, `
+class Main { static void main() { int a = 1; int b = 2; print(a + b); } }`, 3)
+}
+
+func TestLineInfoOnInstructions(t *testing.T) {
+	prog, err := Compile(`class Main {
+  static void main() {
+    int x = 1;
+    print(x);
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLine3, sawLine4 := false, false
+	for _, in := range prog.Instrs {
+		switch in.Line {
+		case 3:
+			sawLine3 = true
+		case 4:
+			sawLine4 = true
+		}
+	}
+	if !sawLine3 || !sawLine4 {
+		t.Errorf("line info missing: line3=%v line4=%v", sawLine3, sawLine4)
+	}
+}
+
+func TestWhileConditionWithCall(t *testing.T) {
+	wantOutput(t, `
+class Gate {
+  int left;
+  boolean open() {
+    if (this.left > 0) { this.left = this.left - 1; return true; }
+    return false;
+  }
+}
+class Main {
+  static void main() {
+    Gate g = new Gate();
+    g.left = 3;
+    int n = 0;
+    while (g.open()) { n = n + 1; }
+    print(n);
+  }
+}`, 3)
+}
+
+func TestDeepNestingCompiles(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("class Main { static void main() { int x = 0;\n")
+	for i := 0; i < 30; i++ {
+		sb.WriteString("if (x >= 0) {\n")
+	}
+	sb.WriteString("x = x + 1;\n")
+	for i := 0; i < 30; i++ {
+		sb.WriteString("}\n")
+	}
+	sb.WriteString("print(x); } }")
+	wantOutput(t, sb.String(), 1)
+}
+
+func TestVoidMethodAsStatement(t *testing.T) {
+	wantOutput(t, `
+class Logger {
+  int count;
+  void log(int v) { this.count = this.count + 1; }
+}
+class Main {
+  static void main() {
+    Logger l = new Logger();
+    l.log(1);
+    l.log(2);
+    print(l.count);
+  }
+}`, 2)
+}

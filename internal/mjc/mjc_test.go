@@ -1,0 +1,465 @@
+package mjc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lowutil/internal/interp"
+)
+
+// compileRun compiles src and runs it, returning printed output.
+func compileRun(t *testing.T, src string) []int64 {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := interp.New(prog)
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, prog.Disassemble())
+	}
+	return m.Output
+}
+
+func wantOutput(t *testing.T, src string, want ...int64) {
+	t.Helper()
+	got := compileRun(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHelloArithmetic(t *testing.T) {
+	wantOutput(t, `
+class Main {
+  static void main() {
+    int x = 2 + 3 * 4;
+    print(x);
+    print(x % 5);
+    print(-x);
+    print(1 << 10);
+    print(1024 >> 3);
+    print(7 & 5);
+    print(7 | 8);
+    print(7 ^ 5);
+  }
+}`, 14, 4, -14, 1024, 128, 5, 15, 2)
+}
+
+func TestPrecedenceAndParens(t *testing.T) {
+	wantOutput(t, `
+class Main {
+  static void main() {
+    print(2 + 3 * 4 - 1);
+    print((2 + 3) * (4 - 1));
+    print(10 - 4 - 3);
+    print(2 * 3 % 4);
+    print(1 + 2 << 1);
+  }
+}`, 13, 15, 3, 2, 6)
+}
+
+func TestBooleansAndShortCircuit(t *testing.T) {
+	wantOutput(t, `
+class Counter { int n;
+  boolean bump() { this.n = this.n + 1; return true; }
+}
+class Main {
+  static void main() {
+    Counter c = new Counter();
+    boolean a = false && c.bump();
+    boolean b = true || c.bump();
+    print(c.n);           // short circuit: no bumps
+    boolean d = true && c.bump();
+    boolean e = false || c.bump();
+    print(c.n);           // both evaluated
+    if (a || b) { print(1); } else { print(0); }
+    if (!a && b) { print(1); } else { print(0); }
+  }
+}`, 0, 2, 1, 1)
+}
+
+func TestWhileForBreakContinue(t *testing.T) {
+	wantOutput(t, `
+class Main {
+  static void main() {
+    int s = 0;
+    for (int i = 0; i < 10; i = i + 1) {
+      if (i % 2 == 0) { continue; }
+      if (i > 7) { break; }
+      s = s + i;
+    }
+    print(s); // 1+3+5+7 = 16
+    int j = 0;
+    while (true) {
+      j = j + 1;
+      if (j == 5) { break; }
+    }
+    print(j);
+  }
+}`, 16, 5)
+}
+
+func TestClassesFieldsInheritanceDispatch(t *testing.T) {
+	wantOutput(t, `
+class Shape {
+  int tag;
+  int area() { return 0; }
+  int describe() { return this.tag * 100 + this.area(); }
+}
+class Square extends Shape {
+  int side;
+  int area() { return this.side * this.side; }
+}
+class Main {
+  static void main() {
+    Square sq = new Square();
+    sq.tag = 7;
+    sq.side = 6;
+    Shape s = sq;
+    print(s.area());      // dispatches to Square.area
+    print(s.describe());  // 7*100 + 36
+    print(s instanceof Square);
+    Shape plain = new Shape();
+    print(plain instanceof Square);
+  }
+}`, 36, 736, 1, 0)
+}
+
+func TestArraysAndLength(t *testing.T) {
+	wantOutput(t, `
+class Main {
+  static void main() {
+    int[] a = new int[5];
+    for (int i = 0; i < a.length; i = i + 1) { a[i] = i * i; }
+    int s = 0;
+    for (int i = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+    print(s);
+    int[][] m = new int[3][];
+    for (int i = 0; i < m.length; i = i + 1) { m[i] = new int[4]; }
+    m[2][3] = 42;
+    print(m[2][3]);
+    print(m.length);
+    print(m[0].length);
+  }
+}`, 30, 42, 3, 4)
+}
+
+func TestRecursionAndStatics(t *testing.T) {
+	wantOutput(t, `
+class Math2 {
+  static int fact(int n) {
+    if (n <= 1) { return 1; }
+    return n * Math2.fact2(n - 1);
+  }
+  static int fact2(int n) { return fact(n) ; }
+}
+class Main {
+  static void main() { print(Math2.fact(6)); }
+}`, 720)
+}
+
+func TestQualifiedStaticCallThroughClassName(t *testing.T) {
+	// MJ has no class-name expressions; static calls are unqualified within
+	// the declaring class. Cross-class static calls go through an instance
+	// helper or are rejected — verify the rejection is clean.
+	src := `
+class Util { static int id(int x) { return x; } }
+class Main {
+  static void main() {
+    Util u = new Util();
+    print(u.id(3));
+  }
+}`
+	_, err := Compile(src)
+	if err == nil || !strings.Contains(err.Error(), "static method") {
+		t.Fatalf("want static-through-instance error, got %v", err)
+	}
+}
+
+func TestNullAndReferenceEquality(t *testing.T) {
+	wantOutput(t, `
+class Node { Node next; }
+class Main {
+  static void main() {
+    Node a = new Node();
+    Node b = new Node();
+    print(a == b);
+    print(a == a);
+    print(a.next == null);
+    a.next = b;
+    print(a.next == b);
+    a.next = null;
+    print(a.next != null);
+  }
+}`, 0, 1, 1, 1, 0)
+}
+
+func TestLinkedListProgram(t *testing.T) {
+	wantOutput(t, `
+class Node { int val; Node next; }
+class List {
+  Node head;
+  int size;
+  void push(int v) {
+    Node n = new Node();
+    n.val = v;
+    n.next = this.head;
+    this.head = n;
+    this.size = this.size + 1;
+  }
+  int sum() {
+    int s = 0;
+    Node cur = this.head;
+    while (cur != null) { s = s + cur.val; cur = cur.next; }
+    return s;
+  }
+}
+class Main {
+  static void main() {
+    List l = new List();
+    for (int i = 1; i <= 10; i = i + 1) { l.push(i); }
+    print(l.sum());
+    print(l.size);
+  }
+}`, 55, 10)
+}
+
+func TestNativesCompile(t *testing.T) {
+	out := compileRun(t, `
+class Main {
+  static void main() {
+    int r = rand(10);
+    print(r);
+    int bits = floatToIntBits(1234);
+    print(intBitsToFloat(bits));
+    assert(true);
+    int h = hash(5);
+    int q = dbQuery(1, 2, 3);
+    print(h - h);
+    print(q - q);
+    printChar('A');
+  }
+}`)
+	if out[0] < 0 || out[0] >= 10 {
+		t.Errorf("rand out of range: %d", out[0])
+	}
+	if out[1] != 1234 {
+		t.Errorf("floatBits roundtrip = %d, want 1234", out[1])
+	}
+	if out[2] != 0 || out[3] != 0 {
+		t.Errorf("hash/dbQuery sanity failed: %v", out)
+	}
+	if out[4] != 'A' {
+		t.Errorf("printChar = %d, want %d", out[4], 'A')
+	}
+}
+
+func TestCharLiteralsAndComments(t *testing.T) {
+	wantOutput(t, `
+// line comment
+class Main {
+  /* block
+     comment */
+  static void main() {
+    print('a');        // 97
+    print('\n');
+    print('\\');
+    print('\'');
+  }
+}`, 97, 10, 92, 39)
+}
+
+func TestScopingAndShadowing(t *testing.T) {
+	wantOutput(t, `
+class Main {
+  static void main() {
+    int x = 1;
+    {
+      int y = 2;
+      print(x + y);
+    }
+    {
+      int y = 30;
+      print(x + y);
+    }
+    for (int i = 0; i < 2; i = i + 1) { int z = i * 10; print(z); }
+  }
+}`, 3, 31, 0, 10)
+}
+
+// ---- error cases ----
+
+func wantCompileError(t *testing.T, src, frag string) {
+	t.Helper()
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatalf("want error containing %q, got success", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("want error containing %q, got %v", frag, err)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct{ name, src, frag string }{
+		{"int plus bool", `class Main { static void main() { int x = 1 + true; } }`, "needs int"},
+		{"cond not bool", `class Main { static void main() { if (1) { print(1); } } }`, "boolean"},
+		{"plain int cond", `class Main { static void main() { while (2 + 2) { } } }`, "boolean"},
+		{"undefined var", `class Main { static void main() { print(x); } }`, "undefined variable"},
+		{"unknown class", `class Main { static void main() { Foo f = null; } }`, "unknown type"},
+		{"unknown method", `class A {} class Main { static void main() { A a = new A(); a.run(); } }`, "no method"},
+		{"unknown field", `class A {} class Main { static void main() { A a = new A(); a.x = 1; } }`, "no field"},
+		{"arg count", `class A { int id(int x) { return x; } } class Main { static void main() { A a = new A(); print(a.id()); } }`, "argument"},
+		{"arg type", `class A { int id(int x) { return x; } } class Main { static void main() { A a = new A(); print(a.id(true)); } }`, "cannot pass"},
+		{"return type", `class Main { static int f() { return true; } static void main() { print(f()); } }`, "cannot return"},
+		{"void returns value", `class Main { static void main() { return 1; } }`, "void method"},
+		{"missing return", `class Main { static int f() { int x = 1; } static void main() { print(f()); } }`, "without returning"},
+		{"this in static", `class Main { int x; static void main() { print(this.x); } }`, "static method"},
+		{"break outside loop", `class Main { static void main() { break; } }`, "break outside"},
+		{"continue outside loop", `class Main { static void main() { continue; } }`, "continue outside"},
+		{"dup class", `class A {} class A {} class Main { static void main() { } }`, "duplicate class"},
+		{"dup field", `class A { int x; int x; } class Main { static void main() { } }`, "duplicate field"},
+		{"dup method", `class A { int f() { return 1; } int f() { return 2; } } class Main { static void main() { } }`, "duplicate method"},
+		{"dup local", `class Main { static void main() { int x = 1; int x = 2; } }`, "duplicate variable"},
+		{"extends unknown", `class A extends B {} class Main { static void main() { } }`, "unknown class"},
+		{"extends cycle", `class A extends B {} class B extends A {} class Main { static void main() { } }`, "cycle"},
+		{"assign subtype violation", `class A {} class B extends A {} class Main { static void main() { B b = new A(); } }`, "cannot initialize"},
+		{"array invariance", `class Main { static void main() { int[] a = new boolean[3]; } }`, "cannot initialize"},
+		{"index non-array", `class Main { static void main() { int x = 3; print(x[0]); } }`, "non-array"},
+		{"bad override", `class A { int f() { return 1; } } class B extends A { boolean f() { return true; } } class Main { static void main() { } }`, "different return type"},
+		{"incomparable refs", `class A {} class B {} class Main { static void main() { A a = new A(); B b = new B(); print(a == b); } }`, "incomparable"},
+		{"assign to call", `class Main { static int f() { return 1; } static void main() { f() = 2; } }`, "assignment target"},
+		{"bare expression stmt", `class Main { static void main() { 1 + 2; } }`, "must be a call"},
+		{"unterminated comment", "class Main { static void main() { } } /* oops", "unterminated"},
+		{"native arg type", `class Main { static void main() { assert(1); } }`, "must be boolean"},
+		{"unknown function", `class Main { static void main() { frobnicate(1); } }`, "unknown function"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { wantCompileError(t, c.src, c.frag) })
+	}
+}
+
+func TestSubtypeAssignmentOK(t *testing.T) {
+	wantOutput(t, `
+class A { int f() { return 1; } }
+class B extends A { int f() { return 2; } }
+class Main {
+  static void main() {
+    A a = new B();
+    print(a.f());
+    a = new A();
+    print(a.f());
+  }
+}`, 2, 1)
+}
+
+// Property-style test: random arithmetic expression trees evaluate the same
+// in MJ and in Go.
+func TestRandomExpressionsAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	type node struct {
+		src  string
+		eval int64
+	}
+	var gen func(depth int) node
+	gen = func(depth int) node {
+		if depth == 0 || rng.Intn(3) == 0 {
+			v := int64(rng.Intn(200) - 100)
+			if v < 0 {
+				return node{fmt.Sprintf("(0 - %d)", -v), v}
+			}
+			return node{fmt.Sprintf("%d", v), v}
+		}
+		l := gen(depth - 1)
+		r := gen(depth - 1)
+		switch rng.Intn(4) {
+		case 0:
+			return node{"(" + l.src + " + " + r.src + ")", l.eval + r.eval}
+		case 1:
+			return node{"(" + l.src + " - " + r.src + ")", l.eval - r.eval}
+		case 2:
+			return node{"(" + l.src + " * " + r.src + ")", l.eval * r.eval}
+		default:
+			return node{"(" + l.src + " ^ " + r.src + ")", l.eval ^ r.eval}
+		}
+	}
+	for i := 0; i < 25; i++ {
+		n := gen(4)
+		src := fmt.Sprintf(`class Main { static void main() { print(%s); } }`, n.src)
+		out := compileRun(t, src)
+		if len(out) != 1 || out[0] != n.eval {
+			t.Fatalf("expr %s = %v, want %d", n.src, out, n.eval)
+		}
+	}
+}
+
+// Property-style test: random comparison chains agree with Go.
+func TestRandomComparisonsAgainstGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(999))
+	ops := []struct {
+		src string
+		f   func(a, b int64) bool
+	}{
+		{"==", func(a, b int64) bool { return a == b }},
+		{"!=", func(a, b int64) bool { return a != b }},
+		{"<", func(a, b int64) bool { return a < b }},
+		{"<=", func(a, b int64) bool { return a <= b }},
+		{">", func(a, b int64) bool { return a > b }},
+		{">=", func(a, b int64) bool { return a >= b }},
+	}
+	for i := 0; i < 40; i++ {
+		a := int64(rng.Intn(7) - 3)
+		b := int64(rng.Intn(7) - 3)
+		op := ops[rng.Intn(len(ops))]
+		want := int64(0)
+		if op.f(a, b) {
+			want = 1
+		}
+		src := fmt.Sprintf(`class Main { static void main() {
+			boolean r = %d %s %d;
+			if (r) { print(1); } else { print(0); }
+		} }`, a, op.src, b)
+		out := compileRun(t, src)
+		if out[0] != want {
+			t.Fatalf("%d %s %d = %d, want %d", a, op.src, b, out[0], want)
+		}
+	}
+}
+
+func TestDeepExpressionTempReuse(t *testing.T) {
+	// Temp slots must reset between statements: a method with many
+	// statements should not grow locals without bound.
+	var sb strings.Builder
+	sb.WriteString("class Main { static void main() { int a = 0;\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "a = a + %d * 2 - 1;\n", i)
+	}
+	sb.WriteString("print(a); } }")
+	prog, err := Compile(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Main
+	if main.NumLocals > 16 {
+		t.Errorf("temp slots leak: NumLocals = %d", main.NumLocals)
+	}
+	m := interp.New(prog)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := 0; i < 200; i++ {
+		want += int64(i)*2 - 1
+	}
+	if m.Output[0] != want {
+		t.Errorf("sum = %d, want %d", m.Output[0], want)
+	}
+}

@@ -1,0 +1,80 @@
+package mjc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestCompileNeverPanics: arbitrary input must produce an AST or an error,
+// never a panic — the front end's robustness property.
+func TestCompileNeverPanics(t *testing.T) {
+	f := func(junk string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", junk, r)
+				ok = false
+			}
+		}()
+		_, _ = Compile(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompileNeverPanicsOnMutatedPrograms: mutate a valid program by
+// deleting a random window — results must be an error or a valid program,
+// never a panic.
+func TestCompileNeverPanicsOnMutatedPrograms(t *testing.T) {
+	base := `
+class Node { int val; Node next; }
+class List {
+  Node head;
+  void push(int v) {
+    Node n = new Node();
+    n.val = v;
+    n.next = this.head;
+    this.head = n;
+  }
+}
+class Main {
+  static void main() {
+    List l = new List();
+    for (int i = 0; i < 5; i = i + 1) { l.push(i * 2); }
+    print(1);
+  }
+}`
+	f := func(start, width uint16) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		s := int(start) % len(base)
+		e := s + int(width)%40
+		if e > len(base) {
+			e = len(base)
+		}
+		mutated := base[:s] + base[e:]
+		_, _ = Compile(mutated)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrorPositionsPointIntoSource: semantic errors carry positions within
+// the source's line range.
+func TestErrorPositionsPointIntoSource(t *testing.T) {
+	src := "class Main {\n  static void main() {\n    print(undefined);\n  }\n}"
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error should point at line 3: %v", err)
+	}
+}

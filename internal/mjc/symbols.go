@@ -1,0 +1,311 @@
+// Package mjc compiles MJ source to the three-address IR: it resolves
+// symbols, type-checks, and lowers ASTs through ir.Builder. The pipeline is
+//
+//	source → lexer → parser → (this package) → *ir.Program
+//
+// MJ semantics in brief: single inheritance, virtual dispatch by method
+// name (no overloading), int/boolean/class/array types with Java-style
+// assignability (subclass to superclass, null to any reference, arrays
+// invariant), explicit `this` for member access, and native functions
+// (print, rand, time, floatToIntBits, intBitsToFloat, assert, dbQuery,
+// hash) standing in for the JVM's native boundary.
+package mjc
+
+import (
+	"fmt"
+
+	"lowutil/internal/ast"
+	"lowutil/internal/ir"
+	"lowutil/internal/lexer"
+	"lowutil/internal/parser"
+)
+
+// Error is a compile-time (semantic) error with position.
+type Error struct {
+	Pos lexer.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos lexer.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Compile parses and compiles src, using Main.main as the entry point.
+func Compile(src string) (*ir.Program, error) {
+	return CompileAt(src, "Main", "main")
+}
+
+// CompileAt parses and compiles src with an explicit entry point.
+func CompileAt(src, mainClass, mainMethod string) (*ir.Program, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(prog, mainClass, mainMethod)
+}
+
+// Lower compiles a parsed program.
+func Lower(prog *ast.Program, mainClass, mainMethod string) (*ir.Program, error) {
+	c := &compiler{
+		b:       ir.NewBuilder(),
+		classes: make(map[string]*classSym),
+	}
+	if err := c.declareClasses(prog); err != nil {
+		return nil, err
+	}
+	if err := c.declareMembers(prog); err != nil {
+		return nil, err
+	}
+	for _, cd := range prog.Classes {
+		cs := c.classes[cd.Name]
+		for _, md := range cd.Methods {
+			if err := c.lowerMethod(cs, md); err != nil {
+				return nil, err
+			}
+		}
+	}
+	irProg, err := c.b.Seal(mainClass, mainMethod)
+	if err != nil {
+		return nil, fmt.Errorf("mjc: %w", err)
+	}
+	return irProg, nil
+}
+
+// classSym associates an AST class with its IR class and member symbols.
+type classSym struct {
+	decl    *ast.ClassDecl
+	cls     *ir.Class
+	fields  map[string]*ir.Field // declared here (inherited via chain lookup)
+	methods map[string]*methodSym
+}
+
+// methodSym is a method signature: the IR method plus MJ-level types.
+type methodSym struct {
+	decl    *ast.MethodDecl
+	m       *ir.Method
+	owner   *classSym
+	params  []*ir.Type // excluding the receiver
+	returns *ir.Type   // nil = void
+}
+
+type compiler struct {
+	b       *ir.Builder
+	classes map[string]*classSym
+	// nullType is the type of the null literal, assignable to any
+	// reference type.
+	nullT ir.Type
+}
+
+func (c *compiler) nullType() *ir.Type {
+	c.nullT = ir.Type{Kind: ir.KindRef}
+	return &c.nullT
+}
+
+// declareClasses creates IR classes in an order that satisfies `extends`
+// dependencies and rejects unknown or cyclic hierarchies.
+func (c *compiler) declareClasses(prog *ast.Program) error {
+	byName := make(map[string]*ast.ClassDecl, len(prog.Classes))
+	for _, cd := range prog.Classes {
+		if _, dup := byName[cd.Name]; dup {
+			return errf(cd.Pos, "duplicate class %s", cd.Name)
+		}
+		byName[cd.Name] = cd
+	}
+	state := make(map[string]int) // 0 unseen, 1 visiting, 2 done
+	var declare func(cd *ast.ClassDecl) error
+	declare = func(cd *ast.ClassDecl) error {
+		switch state[cd.Name] {
+		case 2:
+			return nil
+		case 1:
+			return errf(cd.Pos, "inheritance cycle through class %s", cd.Name)
+		}
+		state[cd.Name] = 1
+		var super *ir.Class
+		if cd.Extends != "" {
+			sd, ok := byName[cd.Extends]
+			if !ok {
+				return errf(cd.Pos, "class %s extends unknown class %s", cd.Name, cd.Extends)
+			}
+			if err := declare(sd); err != nil {
+				return err
+			}
+			super = c.classes[cd.Extends].cls
+		}
+		cs := &classSym{
+			decl:    cd,
+			cls:     c.b.Class(cd.Name, super),
+			fields:  make(map[string]*ir.Field),
+			methods: make(map[string]*methodSym),
+		}
+		c.classes[cd.Name] = cs
+		state[cd.Name] = 2
+		return nil
+	}
+	for _, cd := range prog.Classes {
+		if err := declare(cd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveType converts a syntactic TypeRef into an IR type.
+func (c *compiler) resolveType(tr *ast.TypeRef) (*ir.Type, error) {
+	var base *ir.Type
+	switch tr.Base {
+	case "int":
+		base = ir.IntType
+	case "boolean":
+		base = ir.BoolType
+	default:
+		cs, ok := c.classes[tr.Base]
+		if !ok {
+			return nil, errf(tr.Pos, "unknown type %s", tr.Base)
+		}
+		base = c.b.RefType(cs.cls)
+	}
+	for i := 0; i < tr.Dims; i++ {
+		base = c.b.ArrayType(base)
+	}
+	return base, nil
+}
+
+// declareMembers declares all fields and method signatures.
+func (c *compiler) declareMembers(prog *ast.Program) error {
+	for _, cd := range prog.Classes {
+		cs := c.classes[cd.Name]
+		for _, fd := range cd.Fields {
+			if _, dup := cs.fields[fd.Name]; dup {
+				return errf(fd.Pos, "duplicate field %s.%s", cd.Name, fd.Name)
+			}
+			typ, err := c.resolveType(fd.Type)
+			if err != nil {
+				return err
+			}
+			cs.fields[fd.Name] = c.b.Field(cs.cls, fd.Name, typ)
+		}
+		for _, md := range cd.Methods {
+			if _, dup := cs.methods[md.Name]; dup {
+				return errf(md.Pos, "duplicate method %s.%s (no overloading in MJ)", cd.Name, md.Name)
+			}
+			ms := &methodSym{decl: md, owner: cs}
+			for _, p := range md.Params {
+				t, err := c.resolveType(p.Type)
+				if err != nil {
+					return err
+				}
+				ms.params = append(ms.params, t)
+			}
+			if md.Returns != nil {
+				t, err := c.resolveType(md.Returns)
+				if err != nil {
+					return err
+				}
+				ms.returns = t
+			}
+			nparams := len(md.Params)
+			if !md.Static {
+				nparams++ // receiver
+			}
+			ms.m = c.b.Method(cs.cls, md.Name, md.Static, nparams, ms.returns)
+			cs.methods[md.Name] = ms
+		}
+	}
+	// Check override compatibility along the hierarchy.
+	for _, cd := range prog.Classes {
+		cs := c.classes[cd.Name]
+		if cd.Extends == "" {
+			continue
+		}
+		for name, ms := range cs.methods {
+			base := c.lookupMethod(c.classes[cd.Extends], name)
+			if base == nil {
+				continue
+			}
+			if base.decl.Static != ms.decl.Static {
+				return errf(ms.decl.Pos, "%s.%s changes staticness of inherited method", cd.Name, name)
+			}
+			if len(base.params) != len(ms.params) {
+				return errf(ms.decl.Pos, "%s.%s overrides with different parameter count", cd.Name, name)
+			}
+			for i := range base.params {
+				if base.params[i] != ms.params[i] {
+					return errf(ms.decl.Pos, "%s.%s overrides with different parameter types", cd.Name, name)
+				}
+			}
+			if base.returns != ms.returns {
+				return errf(ms.decl.Pos, "%s.%s overrides with different return type", cd.Name, name)
+			}
+		}
+	}
+	return nil
+}
+
+// lookupMethod resolves a method name along the class chain.
+func (c *compiler) lookupMethod(cs *classSym, name string) *methodSym {
+	for s := cs; s != nil; {
+		if m, ok := s.methods[name]; ok {
+			return m
+		}
+		if s.decl.Extends == "" {
+			return nil
+		}
+		s = c.classes[s.decl.Extends]
+	}
+	return nil
+}
+
+// lookupField resolves a field name along the class chain.
+func (c *compiler) lookupField(cs *classSym, name string) *ir.Field {
+	for s := cs; s != nil; {
+		if f, ok := s.fields[name]; ok {
+			return f
+		}
+		if s.decl.Extends == "" {
+			return nil
+		}
+		s = c.classes[s.decl.Extends]
+	}
+	return nil
+}
+
+// classSymOf maps an ir.Class back to its symbol.
+func (c *compiler) classSymOf(cls *ir.Class) *classSym { return c.classes[cls.Name] }
+
+// assignable reports whether a value of type src may be stored into dst.
+func (c *compiler) assignable(dst, src *ir.Type) bool {
+	if dst == src {
+		return true
+	}
+	if dst == nil || src == nil {
+		return false
+	}
+	// Both int-kinded named types (int vs boolean) are distinct.
+	if !dst.IsRef() || !src.IsRef() {
+		return false
+	}
+	if src == &c.nullT {
+		return true // null to any reference
+	}
+	if dst.Class != nil && src.Class != nil {
+		return src.Class.IsSubclassOf(dst.Class)
+	}
+	return false // arrays are invariant; distinct array types never unify
+}
+
+// typeName renders t for error messages.
+func typeName(t *ir.Type) string {
+	if t == nil {
+		return "void"
+	}
+	if t.Kind == ir.KindRef && t.Class == nil && t.Elem == nil {
+		return "null"
+	}
+	if t == ir.BoolType {
+		return "boolean"
+	}
+	return t.String()
+}

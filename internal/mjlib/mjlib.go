@@ -1,0 +1,203 @@
+// Package mjlib is the MJ container library: collection classes written in
+// MJ that play the role of the Java collection framework in the paper. The
+// cost-benefit analysis aggregates per-field metrics over object reference
+// trees of height 4 precisely because that is "the reference chain length
+// for the most complex container classes in the Java collection framework";
+// these containers (map → bucket array → entry chain → values) produce
+// exactly such trees.
+//
+// Use Concat to prepend the needed classes to a program:
+//
+//	src := mjlib.Concat(mjlib.IntMap, mjlib.ArrayList, userSource)
+package mjlib
+
+import "strings"
+
+// Concat joins library fragments and user source into one compilation unit.
+func Concat(parts ...string) string { return strings.Join(parts, "\n") }
+
+// All returns the whole library.
+func All() string {
+	return Concat(ArrayList, IntMap, StrBuf, IntQueue, IntStack)
+}
+
+// ArrayList is a growable int list: add, get, set, size, contains, and an
+// index-of scan. Growth doubles the backing array.
+const ArrayList = `
+class ArrayList {
+  int[] data;
+  int size;
+  void init() { this.data = new int[4]; this.size = 0; }
+  void grow() {
+    int[] neu = new int[this.data.length * 2];
+    for (int i = 0; i < this.size; i = i + 1) { neu[i] = this.data[i]; }
+    this.data = neu;
+  }
+  void add(int v) {
+    if (this.size == this.data.length) { this.grow(); }
+    this.data[this.size] = v;
+    this.size = this.size + 1;
+  }
+  int get(int i) { return this.data[i]; }
+  void set(int i, int v) { this.data[i] = v; }
+  int count() { return this.size; }
+  int indexOf(int v) {
+    for (int i = 0; i < this.size; i = i + 1) {
+      if (this.data[i] == v) { return i; }
+    }
+    return -1;
+  }
+  boolean contains(int v) { return this.indexOf(v) >= 0; }
+}`
+
+// IntMap is a chained hash map from int to int: MapEntry chains hang off a
+// bucket array, giving the four-level reference structure (map → buckets →
+// entry → next entry) the paper's tree height targets. Rehashing doubles
+// the bucket count at load factor 1.
+const IntMap = `
+class MapEntry {
+  int key;
+  int val;
+  MapEntry next;
+}
+class IntMap {
+  MapEntry[] buckets;
+  int size;
+  void init() { this.buckets = new MapEntry[8]; this.size = 0; }
+  int bucketOf(int key) {
+    int h = hash(key);
+    int b = h % this.buckets.length;
+    if (b < 0) { b = -b; }
+    return b;
+  }
+  void put(int key, int val) {
+    if (this.size >= this.buckets.length) { this.rehash(); }
+    int b = this.bucketOf(key);
+    MapEntry e = this.buckets[b];
+    while (e != null) {
+      if (e.key == key) { e.val = val; return; }
+      e = e.next;
+    }
+    MapEntry ne = new MapEntry();
+    ne.key = key;
+    ne.val = val;
+    ne.next = this.buckets[b];
+    this.buckets[b] = ne;
+    this.size = this.size + 1;
+  }
+  boolean has(int key) {
+    MapEntry e = this.buckets[this.bucketOf(key)];
+    while (e != null) {
+      if (e.key == key) { return true; }
+      e = e.next;
+    }
+    return false;
+  }
+  int get(int key, int dflt) {
+    MapEntry e = this.buckets[this.bucketOf(key)];
+    while (e != null) {
+      if (e.key == key) { return e.val; }
+      e = e.next;
+    }
+    return dflt;
+  }
+  void rehash() {
+    MapEntry[] old = this.buckets;
+    this.buckets = new MapEntry[old.length * 2];
+    this.size = 0;
+    for (int i = 0; i < old.length; i = i + 1) {
+      MapEntry e = old[i];
+      while (e != null) {
+        this.put(e.key, e.val);
+        e = e.next;
+      }
+    }
+  }
+  int count() { return this.size; }
+}`
+
+// StrBuf is the StringBuilder analogue: a growable character buffer with
+// append, appendInt, and a checksum-style digest (MJ has no strings, so the
+// digest stands in for toString()).
+const StrBuf = `
+class StrBuf {
+  int[] chars;
+  int len;
+  void init() { this.chars = new int[16]; this.len = 0; }
+  void append(int c) {
+    if (this.len == this.chars.length) {
+      int[] neu = new int[this.chars.length * 2];
+      for (int i = 0; i < this.len; i = i + 1) { neu[i] = this.chars[i]; }
+      this.chars = neu;
+    }
+    this.chars[this.len] = c;
+    this.len = this.len + 1;
+  }
+  void appendInt(int v) {
+    if (v == 0) { this.append(48); return; }
+    if (v < 0) { this.append(45); v = -v; }
+    int digits = 0;
+    int tmp = v;
+    while (tmp > 0) { digits = digits + 1; tmp = tmp / 10; }
+    int div = 1;
+    for (int i = 1; i < digits; i = i + 1) { div = div * 10; }
+    while (div > 0) {
+      this.append(48 + (v / div) % 10);
+      div = div / 10;
+    }
+  }
+  int digest() {
+    int h = 17;
+    for (int i = 0; i < this.len; i = i + 1) { h = h * 31 + this.chars[i]; }
+    return h;
+  }
+  int length() { return this.len; }
+}`
+
+// IntQueue is a ring-buffer FIFO queue.
+const IntQueue = `
+class IntQueue {
+  int[] ring;
+  int head;
+  int tail;
+  int size;
+  void init(int cap) { this.ring = new int[cap]; this.head = 0; this.tail = 0; this.size = 0; }
+  boolean offer(int v) {
+    if (this.size == this.ring.length) { return false; }
+    this.ring[this.tail] = v;
+    this.tail = (this.tail + 1) % this.ring.length;
+    this.size = this.size + 1;
+    return true;
+  }
+  int poll(int dflt) {
+    if (this.size == 0) { return dflt; }
+    int v = this.ring[this.head];
+    this.head = (this.head + 1) % this.ring.length;
+    this.size = this.size - 1;
+    return v;
+  }
+  int count() { return this.size; }
+}`
+
+// IntStack is a growable LIFO stack.
+const IntStack = `
+class IntStack {
+  int[] data;
+  int sp;
+  void init() { this.data = new int[8]; this.sp = 0; }
+  void push(int v) {
+    if (this.sp == this.data.length) {
+      int[] neu = new int[this.data.length * 2];
+      for (int i = 0; i < this.sp; i = i + 1) { neu[i] = this.data[i]; }
+      this.data = neu;
+    }
+    this.data[this.sp] = v;
+    this.sp = this.sp + 1;
+  }
+  int pop(int dflt) {
+    if (this.sp == 0) { return dflt; }
+    this.sp = this.sp - 1;
+    return this.data[this.sp];
+  }
+  boolean empty() { return this.sp == 0; }
+}`

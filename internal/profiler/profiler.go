@@ -1,0 +1,460 @@
+// Package profiler builds the cost-benefit dependence graph Gcost online,
+// implementing the instrumentation semantics of Figure 4 of the paper as an
+// interp.Tracer.
+//
+// For every storage location l the profiler maintains a shadow location l'
+// holding the dependence-graph node that last wrote l: locals get shadow
+// slots parallel to the frame's locals, heap locations get per-object shadow
+// slices hung off interp.Object.Shadow (the "shadow heap"), and statics get
+// a parallel static shadow table. A tracking stack passes dependences and
+// the receiver-object context chain across calls, exactly as in the paper.
+//
+// The profiler is thin by default: loads and stores do not consume the base
+// pointer. Setting Options.Traditional includes base-pointer dependences,
+// giving the conventional dynamic-slicing baseline used in the ablation
+// benchmarks.
+package profiler
+
+import (
+	"lowutil/internal/contextenc"
+	"lowutil/internal/depgraph"
+	"lowutil/internal/interp"
+	"lowutil/internal/ir"
+)
+
+// Options configures a Profiler.
+type Options struct {
+	// Slots is the paper's parameter s — the number of context slots per
+	// instruction. Zero means 16.
+	Slots int
+	// Traditional includes base-pointer dependences at loads/stores,
+	// turning thin slicing into traditional dynamic slicing.
+	Traditional bool
+	// TrackCR enables exact context-conflict-ratio bookkeeping (costs
+	// memory proportional to distinct (instruction, context) pairs).
+	TrackCR bool
+	// Unabstracted disables context abstraction entirely: every instruction
+	// *instance* becomes its own node, as in conventional dynamic slicing.
+	// The node count is then bounded only by UnabstractedCap. Used by the
+	// abstract-vs-concrete ablation.
+	Unabstracted bool
+	// UnabstractedCap caps per-instruction instance nodes in Unabstracted
+	// mode (0 means 1<<20); beyond the cap, instances fold into the last
+	// node so the experiment can finish instead of exhausting memory.
+	UnabstractedCap int
+	// TrackControl adds, to every value-producing node, a dependence on the
+	// most recently executed predicate in the same frame — the §3.2
+	// "considering vs ignoring control decision making" alternative (with
+	// the closest dynamic predicate as the control scope). Costs then
+	// include the effort of making the enclosing control decision.
+	TrackControl bool
+}
+
+// frameShadow is the per-frame tracker state: shadow locals plus the encoded
+// receiver-object context chain of the frame.
+type frameShadow struct {
+	nodes []*depgraph.Node
+	ctx   contextenc.Encoded
+	slot  int // h(ctx), precomputed
+	// lastPred is the most recently executed predicate node in this frame
+	// (TrackControl mode only).
+	lastPred *depgraph.Node
+}
+
+// objShadow is the per-object tracker state: the object tag (environment P —
+// the context-annotated allocation node) and shadow slots for fields or
+// array elements.
+type objShadow struct {
+	tag   *depgraph.Node
+	slots []*depgraph.Node
+}
+
+// Profiler is an interp.Tracer that constructs Gcost.
+type Profiler struct {
+	G    *depgraph.Graph
+	Prog *ir.Program
+
+	slots    contextenc.Slots
+	cr       *contextenc.ConflictTracker
+	thin     bool
+	unabs    bool
+	unabsCap int
+	control  bool
+
+	// statics is the shadow of static-field storage.
+	statics []*depgraph.Node
+
+	// pendingCall carries argument shadows and callee context between
+	// BeforeCall and EnterMethod (the tracking stack push).
+	pendingArgs []*depgraph.Node
+	pendingCtx  contextenc.Encoded
+	havePending bool
+	// pendingRet carries the return value's node between BeforeReturn and
+	// AfterCall (the tracking stack pop).
+	pendingRet *depgraph.Node
+
+	// enabled gates graph construction for phase-restricted tracking;
+	// context bookkeeping continues while disabled.
+	enabled bool
+
+	// instCount counts instances per instruction in Unabstracted mode.
+	instCount []int
+}
+
+// New returns a Profiler over prog.
+func New(prog *ir.Program, opts Options) *Profiler {
+	s := opts.Slots
+	if s == 0 {
+		s = 16
+	}
+	p := &Profiler{
+		G:       depgraph.New(prog),
+		Prog:    prog,
+		slots:   contextenc.NewSlots(s),
+		thin:    !opts.Traditional,
+		unabs:   opts.Unabstracted,
+		control: opts.TrackControl,
+		statics: make([]*depgraph.Node, len(prog.Statics)),
+		enabled: true,
+	}
+	if opts.TrackCR {
+		p.cr = NewCRTracker(prog, s)
+	}
+	if p.unabs {
+		p.instCount = make([]int, prog.NumInstrs())
+		p.unabsCap = opts.UnabstractedCap
+		if p.unabsCap == 0 {
+			p.unabsCap = 1 << 20
+		}
+	}
+	return p
+}
+
+// NewCRTracker returns the conflict tracker used when Options.TrackCR is
+// set; exposed for tests.
+func NewCRTracker(prog *ir.Program, s int) *contextenc.ConflictTracker {
+	return contextenc.NewConflictTracker(contextenc.NewSlots(s), prog.NumInstrs())
+}
+
+// SetEnabled toggles graph construction; used for phase-restricted tracking
+// ("track only the steady-state portion of a server's run").
+func (p *Profiler) SetEnabled(on bool) { p.enabled = on }
+
+// Enabled reports whether graph construction is active.
+func (p *Profiler) Enabled() bool { return p.enabled }
+
+// CR returns the conflict tracker (nil unless TrackCR was set).
+func (p *Profiler) CR() *contextenc.ConflictTracker { return p.cr }
+
+// Slots returns the configured s.
+func (p *Profiler) Slots() int { return p.slots.S }
+
+// ShadowNodes exposes the frame's shadow locals: for each local slot, the
+// node that last wrote it. Wrapping clients (e.g. the method-cost tracker)
+// use it to observe tracking data without re-implementing Figure 4.
+func (p *Profiler) ShadowNodes(fr *interp.Frame) []*depgraph.Node {
+	return p.fshadow(fr).nodes
+}
+
+// fshadow returns (creating if needed) the frame's shadow state.
+func (p *Profiler) fshadow(fr *interp.Frame) *frameShadow {
+	if fs, ok := fr.Shadow.(*frameShadow); ok {
+		return fs
+	}
+	fs := &frameShadow{nodes: make([]*depgraph.Node, len(fr.Locals))}
+	fs.slot = p.slots.Slot(fs.ctx)
+	fr.Shadow = fs
+	return fs
+}
+
+// oshadow returns (creating if needed) the object's shadow state.
+func (p *Profiler) oshadow(o *interp.Object) *objShadow {
+	if os, ok := o.Shadow.(*objShadow); ok {
+		return os
+	}
+	var n int
+	if o.IsArray() {
+		n = len(o.Elems)
+	} else {
+		n = len(o.Fields)
+	}
+	os := &objShadow{slots: make([]*depgraph.Node, n)}
+	o.Shadow = os
+	return os
+}
+
+// node maps an instruction instance executing in frame shadow fs to its
+// abstract node and bumps its frequency (the Touch of Definition 2's
+// abstraction function f_a).
+func (p *Profiler) node(in *ir.Instr, fs *frameShadow) *depgraph.Node {
+	var n *depgraph.Node
+	if p.unabs {
+		c := p.instCount[in.ID]
+		if c < p.unabsCap {
+			p.instCount[in.ID] = c + 1
+		}
+		n = p.G.Touch(in, c)
+	} else {
+		if p.cr != nil {
+			p.cr.Observe(in.ID, fs.ctx)
+		}
+		n = p.G.Touch(in, fs.slot)
+	}
+	if p.control && fs.lastPred != nil {
+		p.G.AddDep(n, fs.lastPred)
+	}
+	return n
+}
+
+// consumerNode maps a predicate or native instruction to its context-free
+// node.
+func (p *Profiler) consumerNode(in *ir.Instr) *depgraph.Node {
+	return p.G.Touch(in, depgraph.NoContext)
+}
+
+// Exec implements interp.Tracer.
+func (p *Profiler) Exec(ev *interp.Event) {
+	if !p.enabled {
+		return
+	}
+	in := ev.In
+	fs := p.fshadow(ev.Frame)
+	g := p.G
+
+	switch in.Op {
+	case ir.OpConst:
+		fs.nodes[in.Dst] = p.node(in, fs)
+
+	case ir.OpMove:
+		n := p.node(in, fs)
+		g.AddDep(n, fs.nodes[in.A])
+		fs.nodes[in.Dst] = n
+
+	case ir.OpBin:
+		n := p.node(in, fs)
+		g.AddDep(n, fs.nodes[in.A])
+		g.AddDep(n, fs.nodes[in.B])
+		fs.nodes[in.Dst] = n
+
+	case ir.OpNeg, ir.OpNot, ir.OpInstanceOf:
+		n := p.node(in, fs)
+		g.AddDep(n, fs.nodes[in.A])
+		fs.nodes[in.Dst] = n
+
+	case ir.OpNew:
+		n := p.node(in, fs)
+		n.Eff = depgraph.EffAlloc
+		n.EffLoc = depgraph.Loc{Alloc: n}
+		fs.nodes[in.Dst] = n
+		os := p.oshadow(ev.New)
+		os.tag = n
+
+	case ir.OpNewArray:
+		n := p.node(in, fs)
+		n.Eff = depgraph.EffAlloc
+		n.EffLoc = depgraph.Loc{Alloc: n}
+		g.AddDep(n, fs.nodes[in.A]) // the length value is consumed
+		fs.nodes[in.Dst] = n
+		os := p.oshadow(ev.New)
+		os.tag = n
+
+	case ir.OpLoadField:
+		n := p.node(in, fs)
+		os := p.oshadow(ev.Base)
+		if in.Field.Slot < len(os.slots) {
+			g.AddDep(n, os.slots[in.Field.Slot])
+		}
+		if !p.thin {
+			g.AddDep(n, fs.nodes[in.A]) // base-pointer use (traditional)
+		}
+		loc := depgraph.Loc{Alloc: os.tag, Field: in.Field.ID}
+		n.Eff = depgraph.EffLoad
+		n.EffLoc = loc
+		g.AddLocLoad(loc, n)
+		fs.nodes[in.Dst] = n
+
+	case ir.OpStoreField:
+		n := p.node(in, fs)
+		g.AddDep(n, fs.nodes[in.B])
+		if !p.thin {
+			g.AddDep(n, fs.nodes[in.A])
+		}
+		os := p.oshadow(ev.Base)
+		if in.Field.Slot < len(os.slots) {
+			os.slots[in.Field.Slot] = n
+		}
+		loc := depgraph.Loc{Alloc: os.tag, Field: in.Field.ID}
+		n.Eff = depgraph.EffStore
+		n.EffLoc = loc
+		g.AddLocStore(loc, n)
+		g.AddRef(n, os.tag)
+		if ev.Val.K == ir.KindRef && ev.Val.Ref != nil {
+			g.AddChild(loc, p.oshadow(ev.Val.Ref).tag)
+		}
+
+	case ir.OpLoadStatic:
+		n := p.node(in, fs)
+		g.AddDep(n, p.statics[in.Static.Slot])
+		loc := depgraph.Loc{Alloc: nil, Field: in.Static.Slot}
+		n.Eff = depgraph.EffLoad
+		n.EffLoc = loc
+		g.AddLocLoad(loc, n)
+		fs.nodes[in.Dst] = n
+
+	case ir.OpStoreStatic:
+		n := p.node(in, fs)
+		g.AddDep(n, fs.nodes[in.A])
+		p.statics[in.Static.Slot] = n
+		loc := depgraph.Loc{Alloc: nil, Field: in.Static.Slot}
+		n.Eff = depgraph.EffStore
+		n.EffLoc = loc
+		g.AddLocStore(loc, n)
+		if ev.Val.K == ir.KindRef && ev.Val.Ref != nil {
+			g.AddChild(loc, p.oshadow(ev.Val.Ref).tag)
+		}
+
+	case ir.OpALoad:
+		n := p.node(in, fs)
+		os := p.oshadow(ev.Base)
+		if int(ev.Index) < len(os.slots) {
+			g.AddDep(n, os.slots[ev.Index])
+		}
+		g.AddDep(n, fs.nodes[in.B]) // the index is still considered used
+		if !p.thin {
+			g.AddDep(n, fs.nodes[in.A])
+		}
+		loc := depgraph.Loc{Alloc: os.tag, Field: depgraph.ElemField}
+		n.Eff = depgraph.EffLoad
+		n.EffLoc = loc
+		g.AddLocLoad(loc, n)
+		fs.nodes[in.Dst] = n
+
+	case ir.OpAStore:
+		n := p.node(in, fs)
+		g.AddDep(n, fs.nodes[in.C2])
+		g.AddDep(n, fs.nodes[in.B])
+		if !p.thin {
+			g.AddDep(n, fs.nodes[in.A])
+		}
+		os := p.oshadow(ev.Base)
+		if int(ev.Index) < len(os.slots) {
+			os.slots[ev.Index] = n
+		}
+		loc := depgraph.Loc{Alloc: os.tag, Field: depgraph.ElemField}
+		n.Eff = depgraph.EffStore
+		n.EffLoc = loc
+		g.AddLocStore(loc, n)
+		g.AddRef(n, os.tag)
+		if ev.Val.K == ir.KindRef && ev.Val.Ref != nil {
+			g.AddChild(loc, p.oshadow(ev.Val.Ref).tag)
+		}
+
+	case ir.OpArrayLen:
+		// The length is metadata fixed at allocation; model the read as a
+		// heap load whose last writer is the allocation node.
+		n := p.node(in, fs)
+		os := p.oshadow(ev.Base)
+		g.AddDep(n, os.tag)
+		loc := depgraph.Loc{Alloc: os.tag, Field: depgraph.ElemField}
+		n.Eff = depgraph.EffLoad
+		n.EffLoc = loc
+		fs.nodes[in.Dst] = n
+
+	case ir.OpIf:
+		n := p.consumerNode(in)
+		g.AddDep(n, fs.nodes[in.A])
+		g.AddDep(n, fs.nodes[in.B])
+		if p.control {
+			fs.lastPred = n
+		}
+
+	case ir.OpNative:
+		n := p.consumerNode(in)
+		for _, a := range in.Args {
+			g.AddDep(n, fs.nodes[a])
+		}
+		if in.Dst >= 0 {
+			fs.nodes[in.Dst] = n
+		}
+	}
+}
+
+// BeforeCall implements interp.Tracer: it pushes the actuals' tracking data
+// and the callee's object context (the caller chain extended with the
+// receiver's allocation site; unchanged for static callees).
+func (p *Profiler) BeforeCall(in *ir.Instr, caller *interp.Frame, callee *ir.Method, recv *interp.Object) {
+	fs := p.fshadow(caller)
+	if cap(p.pendingArgs) < len(in.Args) {
+		p.pendingArgs = make([]*depgraph.Node, len(in.Args))
+	}
+	p.pendingArgs = p.pendingArgs[:len(in.Args)]
+	for i, a := range in.Args {
+		p.pendingArgs[i] = fs.nodes[a]
+	}
+	ctx := fs.ctx
+	if recv != nil {
+		ctx = contextenc.Extend(ctx, recv.Site)
+	}
+	p.pendingCtx = ctx
+	p.havePending = true
+}
+
+// EnterMethod implements interp.Tracer: formals receive the actuals'
+// tracking data and the frame adopts the pushed context.
+func (p *Profiler) EnterMethod(fr *interp.Frame, recv *interp.Object) {
+	fs := &frameShadow{nodes: make([]*depgraph.Node, fr.Method.NumLocals)}
+	if p.havePending {
+		copy(fs.nodes, p.pendingArgs)
+		fs.ctx = p.pendingCtx
+		p.havePending = false
+	} else if recv != nil {
+		// Entry via CallMethod with a receiver: root the chain there.
+		fs.ctx = contextenc.Extend(contextenc.EmptyContext, recv.Site)
+	}
+	fs.slot = p.slots.Slot(fs.ctx)
+	fr.Shadow = fs
+}
+
+// BeforeReturn implements interp.Tracer: the return value's tracking data is
+// pushed for the caller to pop.
+func (p *Profiler) BeforeReturn(in *ir.Instr, fr *interp.Frame) {
+	if in.HasA {
+		p.pendingRet = p.fshadow(fr).nodes[in.A]
+	} else {
+		p.pendingRet = nil
+	}
+}
+
+// AfterCall implements interp.Tracer: a call site with a destination acts as
+// an assignment from the returned value, creating a node in the caller's
+// context.
+func (p *Profiler) AfterCall(in *ir.Instr, caller *interp.Frame, hasValue bool) {
+	ret := p.pendingRet
+	p.pendingRet = nil
+	if !hasValue || in == nil || in.Dst < 0 {
+		return
+	}
+	fs := p.fshadow(caller)
+	if !p.enabled {
+		return
+	}
+	n := p.node(in, fs)
+	p.G.AddDep(n, ret)
+	fs.nodes[in.Dst] = n
+}
+
+var _ interp.Tracer = (*Profiler)(nil)
+
+// NewFromGraph wraps a reloaded graph (depgraph.Decode) in a Profiler so
+// offline analyses can use the same access paths as live ones. The returned
+// profiler must not be attached to a machine.
+func NewFromGraph(prog *ir.Program, g *depgraph.Graph) *Profiler {
+	return &Profiler{
+		G:       g,
+		Prog:    prog,
+		slots:   contextenc.NewSlots(16),
+		thin:    true,
+		statics: make([]*depgraph.Node, len(prog.Statics)),
+		cr:      NewCRTracker(prog, 16),
+	}
+}

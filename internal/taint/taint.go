@@ -1,0 +1,157 @@
+// Package taint implements the naive cumulative cost tracking that Figure 1
+// of the paper uses as a negative baseline: each storage location carries a
+// scalar "cost so far", and an instruction's destination cost is the sum of
+// its operand costs plus one.
+//
+// This double-counts shared sub-computations (the paper's t_b = 8 for a
+// five-instruction program) and can overflow 64-bit counters on real
+// programs; the tests and benchmarks contrast it with slicing-based cost,
+// which counts each contributing instruction once.
+package taint
+
+import (
+	"lowutil/internal/interp"
+	"lowutil/internal/ir"
+)
+
+// Tracker is an interp.Tracer that performs taint-like cumulative cost
+// tracking. Costs saturate at MaxCost instead of overflowing.
+type Tracker struct {
+	// Overflowed reports whether any cost saturated.
+	Overflowed bool
+
+	statics []uint64
+	pending []uint64
+	haveP   bool
+	pendRet uint64
+}
+
+// MaxCost is the saturation bound.
+const MaxCost = ^uint64(0) >> 1
+
+// New returns a Tracker for prog.
+func New(prog *ir.Program) *Tracker {
+	return &Tracker{statics: make([]uint64, len(prog.Statics))}
+}
+
+type frameCosts struct{ c []uint64 }
+type objCosts struct{ c []uint64 }
+
+func (t *Tracker) fcosts(fr *interp.Frame) *frameCosts {
+	if fc, ok := fr.Shadow.(*frameCosts); ok {
+		return fc
+	}
+	fc := &frameCosts{c: make([]uint64, len(fr.Locals))}
+	fr.Shadow = fc
+	return fc
+}
+
+func (t *Tracker) ocosts(o *interp.Object) *objCosts {
+	if oc, ok := o.Shadow.(*objCosts); ok {
+		return oc
+	}
+	n := len(o.Fields)
+	if o.IsArray() {
+		n = len(o.Elems)
+	}
+	oc := &objCosts{c: make([]uint64, n)}
+	o.Shadow = oc
+	return oc
+}
+
+func (t *Tracker) add(a, b uint64) uint64 {
+	s := a + b
+	if s < a || s > MaxCost {
+		t.Overflowed = true
+		return MaxCost
+	}
+	return s
+}
+
+// CostOf returns the tracked cumulative cost of local slot s in fr.
+func (t *Tracker) CostOf(fr *interp.Frame, s int) uint64 { return t.fcosts(fr).c[s] }
+
+// Exec implements interp.Tracer.
+func (t *Tracker) Exec(ev *interp.Event) {
+	in := ev.In
+	fc := t.fcosts(ev.Frame)
+	switch in.Op {
+	case ir.OpConst:
+		fc.c[in.Dst] = 1
+	case ir.OpMove:
+		fc.c[in.Dst] = t.add(fc.c[in.A], 1)
+	case ir.OpBin:
+		fc.c[in.Dst] = t.add(t.add(fc.c[in.A], fc.c[in.B]), 1)
+	case ir.OpNeg, ir.OpNot, ir.OpInstanceOf:
+		fc.c[in.Dst] = t.add(fc.c[in.A], 1)
+	case ir.OpNew:
+		fc.c[in.Dst] = 1
+	case ir.OpNewArray:
+		fc.c[in.Dst] = t.add(fc.c[in.A], 1)
+	case ir.OpLoadField:
+		oc := t.ocosts(ev.Base)
+		fc.c[in.Dst] = t.add(oc.c[in.Field.Slot], 1)
+	case ir.OpStoreField:
+		oc := t.ocosts(ev.Base)
+		oc.c[in.Field.Slot] = t.add(fc.c[in.B], 1)
+	case ir.OpLoadStatic:
+		fc.c[in.Dst] = t.add(t.statics[in.Static.Slot], 1)
+	case ir.OpStoreStatic:
+		t.statics[in.Static.Slot] = t.add(fc.c[in.A], 1)
+	case ir.OpALoad:
+		oc := t.ocosts(ev.Base)
+		fc.c[in.Dst] = t.add(t.add(oc.c[ev.Index], fc.c[in.B]), 1)
+	case ir.OpAStore:
+		oc := t.ocosts(ev.Base)
+		oc.c[ev.Index] = t.add(t.add(fc.c[in.C2], fc.c[in.B]), 1)
+	case ir.OpArrayLen:
+		fc.c[in.Dst] = 1
+	case ir.OpNative:
+		var sum uint64 = 1
+		for _, a := range in.Args {
+			sum = t.add(sum, fc.c[a])
+		}
+		if in.Dst >= 0 {
+			fc.c[in.Dst] = sum
+		}
+	}
+}
+
+// BeforeCall implements interp.Tracer.
+func (t *Tracker) BeforeCall(in *ir.Instr, caller *interp.Frame, callee *ir.Method, recv *interp.Object) {
+	fc := t.fcosts(caller)
+	t.pending = t.pending[:0]
+	for _, a := range in.Args {
+		t.pending = append(t.pending, fc.c[a])
+	}
+	t.haveP = true
+}
+
+// EnterMethod implements interp.Tracer.
+func (t *Tracker) EnterMethod(fr *interp.Frame, recv *interp.Object) {
+	fc := &frameCosts{c: make([]uint64, fr.Method.NumLocals)}
+	if t.haveP {
+		copy(fc.c, t.pending)
+		t.haveP = false
+	}
+	fr.Shadow = fc
+}
+
+// BeforeReturn implements interp.Tracer.
+func (t *Tracker) BeforeReturn(in *ir.Instr, fr *interp.Frame) {
+	if in.HasA {
+		t.pendRet = t.fcosts(fr).c[in.A]
+	} else {
+		t.pendRet = 0
+	}
+}
+
+// AfterCall implements interp.Tracer.
+func (t *Tracker) AfterCall(in *ir.Instr, caller *interp.Frame, hasValue bool) {
+	if hasValue && in != nil && in.Dst >= 0 {
+		t.fcosts(caller).c[in.Dst] = t.add(t.pendRet, 1)
+	}
+	t.pendRet = 0
+}
+
+var _ interp.Tracer = (*Tracker)(nil)

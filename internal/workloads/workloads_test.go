@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"testing"
+
+	"lowutil/internal/deadness"
+	"lowutil/internal/interp"
+	"lowutil/internal/profiler"
+)
+
+func TestAllEighteenRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("workloads = %d, want 18", len(all))
+	}
+	names := map[string]bool{}
+	for _, w := range all {
+		if names[w.Name] {
+			t.Errorf("duplicate %s", w.Name)
+		}
+		names[w.Name] = true
+		if w.Profile == "" {
+			t.Errorf("%s has no profile description", w.Name)
+		}
+	}
+	for _, want := range []string{"antlr", "bloat", "chart", "eclipse", "sunflow", "tradesoap"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+// TestAllCompileAndRun: every workload compiles, runs to completion
+// deterministically, and produces output.
+func TestAllCompileAndRun(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Compile(1)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m := interp.New(prog)
+			m.MaxSteps = 200_000_000
+			if err := m.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(m.Output) == 0 {
+				t.Error("no output: workload result is unobservable")
+			}
+			if m.Steps < 1000 {
+				t.Errorf("only %d steps: workload too trivial", m.Steps)
+			}
+
+			// Determinism.
+			m2 := interp.New(prog)
+			m2.MaxSteps = 200_000_000
+			if err := m2.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(m.Output) != len(m2.Output) {
+				t.Fatal("nondeterministic output length")
+			}
+			for i := range m.Output {
+				if m.Output[i] != m2.Output[i] {
+					t.Fatalf("nondeterministic output at %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestScaleGrowsWork: scale must increase executed instructions roughly
+// proportionally.
+func TestScaleGrowsWork(t *testing.T) {
+	w := ByName("chart")
+	steps := func(scale int) int64 {
+		prog, err := w.Compile(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := interp.New(prog)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Steps
+	}
+	s1, s4 := steps(1), steps(4)
+	if s4 < 3*s1 {
+		t.Errorf("scale 4 steps (%d) should be ~4x scale 1 (%d)", s4, s1)
+	}
+}
+
+// TestProfilesHoldShape: the high-IPD trio (bloat, eclipse, sunflow) must
+// measurably out-IPD the low-IPD fop under the dead-value analysis — the
+// central Table 1(c) shape.
+func TestProfilesHoldShape(t *testing.T) {
+	ipd := func(name string) float64 {
+		w := ByName(name)
+		prog, err := w.Compile(1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p := profiler.New(prog, profiler.Options{Slots: 16})
+		m := interp.New(prog)
+		m.Tracer = p
+		if err := m.Run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return deadness.Analyze(p.G, m.Steps).IPD()
+	}
+	fop := ipd("fop")
+	for _, name := range []string{"bloat", "chart", "sunflow"} {
+		if got := ipd(name); got <= fop {
+			t.Errorf("IPD(%s) = %.1f%% should exceed IPD(fop) = %.1f%%", name, got, fop)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if ByName("nope") != nil {
+		t.Error("unknown workload should be nil")
+	}
+}

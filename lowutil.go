@@ -1,0 +1,581 @@
+// Package lowutil is a from-scratch reproduction of "Finding Low-Utility
+// Data Structures" (Xu, Mitchell, Arnold, Rountev, Schonberg, Sevitsky —
+// PLDI 2010) as a Go library.
+//
+// The paper finds runtime bloat by profiling the cost of producing heap
+// values (how many instructions were transitively required, computed with
+// *abstract dynamic thin slicing*) against the benefit of consuming them,
+// and flags data structures whose relative cost far exceeds their relative
+// benefit. The original system instruments the IBM J9 JVM; this library
+// substitutes a complete stack built from scratch:
+//
+//   - MJ, a mini-Java source language with a full compiler front end
+//   - a three-address-code VM (the instrumentation substrate)
+//   - the cost-benefit profiler (Figure 4 of the paper), Gcost, and the
+//     relative cost-benefit analysis (RAC/RAB, n-RAC/n-RAB)
+//   - the client analyses: null-propagation, typestate history, extended
+//     copy profiling, dead-value measurement, predicate and rewrite
+//     detectors, collection ranking
+//
+// This package is the high-level facade. Typical use:
+//
+//	prog, err := lowutil.Compile(src)
+//	profile, err := prog.Profile(lowutil.ProfileOptions{Slots: 16})
+//	fmt.Println(profile.Report(10))
+//
+// The experiment harnesses behind Table 1 and the six case studies live in
+// internal/evalharness and internal/casestudies and are driven by the
+// cmd/table1 and cmd/casestudies binaries.
+package lowutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"lowutil/internal/casestudies"
+	"lowutil/internal/clients"
+	"lowutil/internal/costben"
+	"lowutil/internal/deadness"
+	"lowutil/internal/depgraph"
+	"lowutil/internal/interp"
+	"lowutil/internal/ir"
+	"lowutil/internal/mjc"
+	"lowutil/internal/profiler"
+)
+
+// Program is a compiled MJ program.
+type Program struct {
+	prog *ir.Program
+}
+
+// Compile compiles MJ source with entry point Main.main.
+func Compile(src string) (*Program, error) {
+	p, err := mjc.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// CompileAt compiles MJ source with an explicit entry point.
+func CompileAt(src, mainClass, mainMethod string) (*Program, error) {
+	p, err := mjc.CompileAt(src, mainClass, mainMethod)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// Disassemble renders the program's three-address code.
+func (p *Program) Disassemble() string { return p.prog.Disassemble() }
+
+// NumInstructions returns the static instruction count (domain I).
+func (p *Program) NumInstructions() int { return p.prog.NumInstrs() }
+
+// RunResult summarizes an uninstrumented execution.
+type RunResult struct {
+	// Output holds the values printed by the program.
+	Output []int64
+	// Steps is the number of executed instruction instances.
+	Steps int64
+	// Allocs is the number of allocated objects and arrays.
+	Allocs int64
+	// NativeWork is synthetic native cost (database round-trips).
+	NativeWork int64
+}
+
+// Run executes the program without instrumentation.
+func (p *Program) Run() (*RunResult, error) {
+	m := interp.New(p.prog)
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return &RunResult{Output: m.Output, Steps: m.Steps, Allocs: m.Allocs, NativeWork: m.NativeWork}, nil
+}
+
+// ProfileOptions configures cost-benefit profiling.
+type ProfileOptions struct {
+	// Slots is the number of context slots per instruction (the paper's s;
+	// 0 means 16).
+	Slots int
+	// Traditional switches from thin to traditional dynamic slicing
+	// (base-pointer dependences included) — mainly for ablations.
+	Traditional bool
+	// TreeHeight is the reference-tree height n for n-RAC/n-RAB (0 = 4,
+	// the paper's choice).
+	TreeHeight int
+	// TrackControl includes the cost of the closest enclosing control
+	// decision in each value's cost (§3.2's "considering vs ignoring
+	// control decision making" alternative).
+	TrackControl bool
+}
+
+// Profile runs the program under the cost-benefit profiler.
+func (p *Program) Profile(opts ProfileOptions) (*Profile, error) {
+	prof := profiler.New(p.prog, profiler.Options{
+		Slots:        opts.Slots,
+		Traditional:  opts.Traditional,
+		TrackControl: opts.TrackControl,
+		TrackCR:      true,
+	})
+	m := interp.New(p.prog)
+	m.Tracer = prof
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	height := opts.TreeHeight
+	if height <= 0 {
+		height = costben.DefaultTreeHeight
+	}
+	return &Profile{
+		prog:   p.prog,
+		prof:   prof,
+		steps:  m.Steps,
+		an:     costben.NewAnalysis(prof.G),
+		height: height,
+	}, nil
+}
+
+// Profile is a completed cost-benefit profiling run (or one reloaded from
+// storage with LoadProfile).
+type Profile struct {
+	prog   *ir.Program
+	prof   *profiler.Profiler
+	steps  int64
+	an     *costben.Analysis
+	height int
+}
+
+// Finding is one ranked low-utility data structure.
+type Finding struct {
+	// Site is the allocation-site index; Where locates it in the source
+	// ("Class.method:pc", with the source line when available).
+	Site  int
+	Where string
+	// Cost and Benefit are the aggregated n-RAC and n-RAB; Rate is their
+	// ratio. Fields whose values reach program output or control decisions
+	// contribute a large finite benefit weight.
+	Cost, Benefit, Rate float64
+	// ReachesConsumer marks structures with at least one field whose values
+	// reach program output or control decisions.
+	ReachesConsumer bool
+	// Allocs is how many objects the site allocated.
+	Allocs int64
+}
+
+func (f Finding) String() string {
+	marker := ""
+	if f.ReachesConsumer {
+		marker = " (reaches output/control)"
+	}
+	return fmt.Sprintf("site %d (%s): cost=%.1f benefit=%.1f rate=%.4f allocs=%d%s",
+		f.Site, f.Where, f.Cost, f.Benefit, f.Rate, f.Allocs, marker)
+}
+
+// TopStructures returns the k most suspicious data structures.
+func (pr *Profile) TopStructures(k int) []Finding {
+	ranked := pr.an.RankBySite(pr.height)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]Finding, 0, k)
+	for _, r := range ranked[:k] {
+		out = append(out, Finding{
+			Site:            r.Site.AllocSite,
+			Where:           siteWhere(r.Site),
+			Cost:            r.NRAC,
+			Benefit:         r.NRAB,
+			Rate:            r.Rate,
+			ReachesConsumer: r.Consumed,
+			Allocs:          r.AllocFreq,
+		})
+	}
+	return out
+}
+
+func siteWhere(site *ir.Instr) string {
+	w := fmt.Sprintf("%s:%d", site.Method.QualifiedName(), site.PC)
+	if site.Line > 0 {
+		w += fmt.Sprintf(" line %d", site.Line)
+	}
+	if site.Op == ir.OpNew {
+		w += " new " + site.Class.Name
+	}
+	return w
+}
+
+// Report renders the top k findings plus summary statistics.
+func (pr *Profile) Report(k int) string {
+	var sb strings.Builder
+	gs := pr.GraphStats()
+	ds := pr.Deadness()
+	fmt.Fprintf(&sb, "Gcost: %d nodes, %d dep edges, %d ref edges (~%d KB), avg CR %.3f\n",
+		gs.Nodes, gs.DepEdges, gs.RefEdges, gs.Bytes/1024, gs.AvgCR)
+	fmt.Fprintf(&sb, "instances: %d; IPD %.1f%%  IPP %.1f%%  NLD %.1f%%\n",
+		ds.Instances, ds.IPD, ds.IPP, ds.NLD)
+	fmt.Fprintf(&sb, "top low-utility structures (n=%d):\n", pr.height)
+	for i, f := range pr.TopStructures(k) {
+		fmt.Fprintf(&sb, "%3d. %s\n", i+1, f)
+	}
+	return sb.String()
+}
+
+// GraphStats describes the dependence graph.
+type GraphStats struct {
+	Nodes    int
+	DepEdges int
+	RefEdges int
+	Bytes    int64
+	AvgCR    float64
+}
+
+// GraphStats returns size statistics for Gcost.
+func (pr *Profile) GraphStats() GraphStats {
+	return GraphStats{
+		Nodes:    pr.prof.G.NumNodes(),
+		DepEdges: pr.prof.G.NumDepEdges(),
+		RefEdges: pr.prof.G.NumRefEdges(),
+		Bytes:    pr.prof.G.ApproxBytes(),
+		AvgCR:    pr.prof.CR().AverageCR(),
+	}
+}
+
+// DeadnessStats carries the Table 1(c) metrics.
+type DeadnessStats struct {
+	// Instances is #I, the executed instruction instances.
+	Instances int64
+	// IPD is the percentage of instances producing ultimately-dead values;
+	// IPP the percentage ending up only in predicates; NLD the percentage
+	// of graph nodes that are ultimately dead.
+	IPD, IPP, NLD float64
+}
+
+// Deadness computes the ultimately-dead value measurement.
+func (pr *Profile) Deadness() DeadnessStats {
+	res := deadness.Analyze(pr.prof.G, pr.steps)
+	return DeadnessStats{Instances: pr.steps, IPD: res.IPD(), IPP: res.IPP(), NLD: res.NLD()}
+}
+
+// Steps returns the executed instruction instances of the profiled run.
+func (pr *Profile) Steps() int64 { return pr.steps }
+
+// profileEnvelope is the on-disk format of a saved profile: the executed
+// instruction count plus the serialized Gcost.
+type profileEnvelope struct {
+	Steps int64           `json:"steps"`
+	Graph json.RawMessage `json:"graph"`
+}
+
+// Save writes the profile (Gcost plus run metadata) for offline analysis —
+// the §3.2 deployment mode where "the JVM only needs to write Gcost to
+// external storage".
+func (pr *Profile) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := pr.prof.G.Encode(&buf); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(profileEnvelope{Steps: pr.steps, Graph: buf.Bytes()})
+}
+
+// LoadProfile reloads a profile saved with Save against the same program.
+// All analyses (Report, TopStructures, Deadness, CacheReports, …) then run
+// offline; CR statistics are not preserved.
+func (p *Program) LoadProfile(r io.Reader) (*Profile, error) {
+	var env profileEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("lowutil: load profile: %w", err)
+	}
+	g, err := depgraph.Decode(bytes.NewReader(env.Graph), p.prog)
+	if err != nil {
+		return nil, err
+	}
+	prof := profiler.NewFromGraph(p.prog, g)
+	return &Profile{
+		prog:   p.prog,
+		prof:   prof,
+		steps:  env.Steps,
+		an:     costben.NewAnalysis(g),
+		height: costben.DefaultTreeHeight,
+	}, nil
+}
+
+// TopStructuresMultiHop ranks data structures using k-hop relative costs and
+// benefits instead of the default single hop (§3.2's multi-hop design
+// alternative): a structure whose expensive producer hides behind one heap
+// indirection is exposed at hops = 2.
+func (pr *Profile) TopStructuresMultiHop(k, hops int) []Finding {
+	type entry struct {
+		site     *ir.Instr
+		alloc    int
+		cost     float64
+		ben      float64
+		consumed bool
+		freq     int64
+	}
+	perSite := make(map[int]*entry)
+	pr.prof.G.Nodes(func(n *depgraph.Node) {
+		if n.Eff != depgraph.EffAlloc {
+			return
+		}
+		cost := pr.an.NRACK(n, pr.height, hops)
+		ben, consumed := pr.an.NRABK(n, pr.height, hops)
+		e := perSite[n.In.AllocSite]
+		if e == nil {
+			e = &entry{site: n.In, alloc: n.In.AllocSite}
+			perSite[n.In.AllocSite] = e
+		}
+		e.cost += cost
+		e.ben += ben
+		e.consumed = e.consumed || consumed
+		e.freq += n.Freq
+	})
+	out := make([]Finding, 0, len(perSite))
+	for _, e := range perSite {
+		out = append(out, Finding{
+			Site:            e.alloc,
+			Where:           siteWhere(e.site),
+			Cost:            e.cost,
+			Benefit:         e.ben,
+			Rate:            costben.Rate(e.cost, e.ben),
+			ReachesConsumer: e.consumed,
+			Allocs:          e.freq,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost > out[j].Cost
+		}
+		return out[i].Site < out[j].Site
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// CacheReport assesses one heap location as a cache (§3.2's
+// cache-effectiveness redefinition of cost and benefit).
+type CacheReport struct {
+	Loc           string
+	Stores, Loads int64
+	CachedWork    float64
+	AvoidedWork   float64
+	Effectiveness float64
+}
+
+// CacheReports assesses every location with at least minAccesses total
+// accesses as a cache, least effective first — poor caches are structures
+// whose maintenance outweighs the recomputation they avoid.
+func (pr *Profile) CacheReports(minAccesses int64) []CacheReport {
+	var out []CacheReport
+	pr.prof.G.Locs(func(loc depgraph.Loc) {
+		rep := pr.an.CacheAnalysis(loc)
+		if rep.Stores+rep.Loads < minAccesses || rep.Stores == 0 {
+			return
+		}
+		out = append(out, CacheReport{
+			Loc:           loc.String(),
+			Stores:        rep.Stores,
+			Loads:         rep.Loads,
+			CachedWork:    rep.CachedWork,
+			AvoidedWork:   rep.AvoidedWork(),
+			Effectiveness: rep.Effectiveness(),
+		})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Effectiveness != out[j].Effectiveness {
+			return out[i].Effectiveness < out[j].Effectiveness
+		}
+		return out[i].Loc < out[j].Loc
+	})
+	return out
+}
+
+// ---- Client analyses ----
+
+// NullDiagnosis explains a NullPointerException.
+type NullDiagnosis struct {
+	// Report is the rendered origin-and-flow explanation.
+	Report string
+	// OriginWhere locates the instruction that created the null.
+	OriginWhere string
+}
+
+// DiagnoseNull runs the program under the null-propagation client. If the
+// run fails with a null dereference it returns the diagnosis; if the run
+// succeeds it returns (nil, nil).
+func (p *Program) DiagnoseNull() (*NullDiagnosis, error) {
+	nt := clients.NewNullTracker(p.prog)
+	m := interp.New(p.prog)
+	m.Tracer = nt
+	err := m.Run()
+	if err == nil {
+		return nil, nil
+	}
+	rep, ok := nt.Diagnose(err)
+	if !ok {
+		return nil, err // not a (diagnosable) NPE: surface the VM error
+	}
+	return &NullDiagnosis{
+		Report:      rep.String(),
+		OriginWhere: fmt.Sprintf("%s:%d", rep.Origin.Method.QualifiedName(), rep.Origin.PC),
+	}, nil
+}
+
+// TypestateProtocol declares a typestate specification over class method
+// names. States are indices into StateNames; a missing transition is a
+// violation.
+type TypestateProtocol struct {
+	StateNames  []string
+	Initial     int
+	Transitions []TypestateTransition
+}
+
+// TypestateTransition is one edge of the protocol DFA.
+type TypestateTransition struct {
+	From   int
+	Method string
+	To     int
+}
+
+// Typestate runs the typestate-history client, tracking every allocation
+// site of the named classes, and returns rendered violations.
+func (p *Program) Typestate(proto *TypestateProtocol, classes ...string) ([]string, error) {
+	cp := &clients.Protocol{
+		NumStates:   len(proto.StateNames),
+		Init:        clients.State(proto.Initial),
+		StateNames:  proto.StateNames,
+		Transitions: make(map[clients.StateMethod]clients.State),
+	}
+	for _, tr := range proto.Transitions {
+		cp.Transitions[clients.StateMethod{From: clients.State(tr.From), Method: tr.Method}] = clients.State(tr.To)
+	}
+	want := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		want[c] = true
+	}
+	var sites []int
+	for _, in := range p.prog.Instrs {
+		if in.Op == ir.OpNew && want[in.Class.Name] {
+			sites = append(sites, in.AllocSite)
+		}
+	}
+	ts := clients.NewTypestateTracker(p.prog, cp, sites...)
+	m := interp.New(p.prog)
+	m.Tracer = ts
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ts.Violations))
+	for _, v := range ts.Violations {
+		out = append(out, v.String())
+	}
+	return out, nil
+}
+
+// CopyChain is one heap-to-heap copy relation found by the extended copy
+// profiling client.
+type CopyChain struct {
+	Src, Dst  string
+	Count     int64
+	StackHops int
+}
+
+// CopyChains runs the copy-profiling client and returns the top k chains by
+// dynamic count, plus the total number of executed copies.
+func (p *Program) CopyChains(k int) ([]CopyChain, int64, error) {
+	cp := clients.NewCopyProfiler(p.prog)
+	m := interp.New(p.prog)
+	m.Tracer = cp
+	if err := m.Run(); err != nil {
+		return nil, 0, err
+	}
+	chains := cp.Chains()
+	if k > len(chains) {
+		k = len(chains)
+	}
+	out := make([]CopyChain, 0, k)
+	for _, c := range chains[:k] {
+		out = append(out, CopyChain{
+			Src: c.Src.String(), Dst: c.Dst.String(),
+			Count: c.Count, StackHops: c.StackHops,
+		})
+	}
+	return out, cp.TotalCopies, nil
+}
+
+// ConstantPredicates runs the predicate client and reports branches executed
+// at least minExec times with a single outcome.
+func (p *Program) ConstantPredicates(minExec int64) ([]string, error) {
+	pt := clients.NewPredicateTracker(p.prog)
+	m := interp.New(p.prog)
+	m.Tracer = pt
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, c := range pt.Constants(minExec) {
+		out = append(out, c.String())
+	}
+	return out, nil
+}
+
+// SilentOverwrites runs the rewrite client and reports heap locations whose
+// writes are mostly never read before the next write.
+func (p *Program) SilentOverwrites(minWrites int64) ([]string, error) {
+	rw := clients.NewRewriteTracker(p.prog)
+	m := interp.New(p.prog)
+	m.Tracer = rw
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, r := range rw.Report(minWrites) {
+		out = append(out, r.String())
+	}
+	return out, nil
+}
+
+// Collections ranks container allocation sites by cost-benefit rate — the
+// §3.2 client that "searches for problematic collections by ranking
+// collection objects based on their RAC/RAB rates". A container is a class
+// with an array-typed field or a collection-like name.
+func (pr *Profile) Collections(k int) []Finding {
+	ranked := clients.RankCollections(pr.an, pr.height, nil)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]Finding, 0, k)
+	for _, r := range ranked[:k] {
+		out = append(out, Finding{
+			Site:            r.Site.AllocSite,
+			Where:           siteWhere(r.Site),
+			Cost:            r.NRAC,
+			Benefit:         r.NRAB,
+			Rate:            r.Rate,
+			ReachesConsumer: r.Consumed,
+			Allocs:          r.AllocFreq,
+		})
+	}
+	return out
+}
+
+// CaseStudyResult re-exports the case-study harness result for the CLI and
+// examples.
+type CaseStudyResult = casestudies.Result
+
+// RunCaseStudy executes one of the six §4.2 case studies by name.
+func RunCaseStudy(name string, scale, slots int) (*CaseStudyResult, error) {
+	cs := casestudies.ByName(name)
+	if cs == nil {
+		return nil, fmt.Errorf("lowutil: unknown case study %q", name)
+	}
+	return cs.Run(scale, slots)
+}
