@@ -1,0 +1,13 @@
+.PHONY: check build test bench
+
+check:
+	sh scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchtime=1x ./...

@@ -5,6 +5,7 @@
 //
 //	lowutil run        prog.mj          execute and print the program output
 //	lowutil disasm     prog.mj          print the three-address code
+//	lowutil vet        prog.mj          static diagnostics, no execution
 //	lowutil profile    [flags] prog.mj  rank low-utility data structures
 //	lowutil nullcheck  prog.mj          diagnose a NullPointerException
 //	lowutil copies     [flags] prog.mj  extended copy profiling
@@ -13,7 +14,11 @@
 //
 // Flags (profile): -s context slots (default 16), -top findings (default
 // 10), -n reference-tree height (default 4), -traditional for the
-// traditional-slicing ablation.
+// traditional-slicing ablation, -prune to statically prune instrumentation.
+//
+// vet reports, without running the program: dead stores, write-only fields,
+// unused allocations, unreachable code, and possibly-uninitialized reads.
+// It exits 1 when it finds anything.
 package main
 
 import (
@@ -37,6 +42,8 @@ func main() {
 		err = cmdRun(args)
 	case "disasm":
 		err = cmdDisasm(args)
+	case "vet":
+		err = cmdVet(args)
 	case "profile":
 		err = cmdProfile(args)
 	case "nullcheck":
@@ -64,7 +71,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lowutil <command> [flags] <file.mj>
-commands: run, disasm, profile, nullcheck, copies, predicates, overwrites, caches`)
+commands: run, disasm, vet, profile, nullcheck, copies, predicates, overwrites, caches`)
 }
 
 func compileFile(path string) (*lowutil.Program, error) {
@@ -120,6 +127,27 @@ func cmdDisasm(args []string) error {
 	return nil
 }
 
+func cmdVet(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	findings := prog.Vet()
+	if len(findings) == 0 {
+		fmt.Println("no findings")
+		return nil
+	}
+	for _, f := range findings {
+		fmt.Println(f.Message)
+	}
+	return fmt.Errorf("%d finding(s)", len(findings))
+}
+
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	slots := fs.Int("s", 16, "context slots per instruction (the paper's s)")
@@ -127,12 +155,16 @@ func cmdProfile(args []string) error {
 	height := fs.Int("n", 4, "reference-tree height for n-RAC/n-RAB")
 	traditional := fs.Bool("traditional", false, "use traditional (non-thin) slicing")
 	control := fs.Bool("control", false, "include control-decision cost (§3.2 alternative)")
+	prune := fs.Bool("prune", false, "statically prune instrumentation of provably irrelevant instructions")
 	hops := fs.Int("hops", 1, "heap-to-heap hops for multi-hop cost/benefit")
 	save := fs.String("save", "", "write the profile (Gcost + metadata) to this file for offline analysis")
 	load := fs.String("load", "", "analyze a previously saved profile instead of re-running")
 	path, err := oneFile(fs, args)
 	if err != nil {
 		return err
+	}
+	if *prune && *traditional {
+		return fmt.Errorf("-prune is only sound for thin slicing; drop -traditional")
 	}
 	prog, err := compileFile(path)
 	if err != nil {
@@ -151,10 +183,14 @@ func cmdProfile(args []string) error {
 		}
 	} else {
 		profile, err = prog.Profile(lowutil.ProfileOptions{
-			Slots: *slots, TreeHeight: *height, Traditional: *traditional, TrackControl: *control,
+			Slots: *slots, TreeHeight: *height, Traditional: *traditional,
+			TrackControl: *control, StaticPrune: *prune,
 		})
 		if err != nil {
 			return err
+		}
+		if *prune {
+			fmt.Fprintf(os.Stderr, "static prune: %d events skipped\n", profile.PrunedEvents())
 		}
 	}
 	if *save != "" {

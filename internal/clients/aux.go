@@ -247,7 +247,12 @@ func (rw *RewriteTracker) Report(minWrites int64) []RewriteReport {
 		if out[i].Overwrites != out[j].Overwrites {
 			return out[i].Overwrites > out[j].Overwrites
 		}
-		return out[i].Site < out[j].Site
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		// Without the field tiebreak, two fields of the same site with equal
+		// overwrite counts land in map-iteration order.
+		return out[i].Field < out[j].Field
 	})
 	return out
 }

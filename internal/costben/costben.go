@@ -171,8 +171,11 @@ func (a *Analysis) NRABDetail(root *depgraph.Node, height int) (float64, bool) {
 
 func (a *Analysis) aggregate(root *depgraph.Node, height int, metric func(depgraph.Loc) float64) (float64, bool) {
 	t := a.ObjectTree(root, height)
-	total := 0.0
 	consumed := false
+	// t.Depth and FieldsOf iterate maps; float addition is not associative,
+	// so sum the per-field values in sorted order to keep results
+	// byte-identical across runs.
+	var vals []float64
 	for owner, depth := range t.Depth {
 		if depth >= height {
 			continue
@@ -183,8 +186,13 @@ func (a *Analysis) aggregate(root *depgraph.Node, height int, metric func(depgra
 				consumed = true
 				v = ConsumedRAB
 			}
-			total += v
+			vals = append(vals, v)
 		})
+	}
+	sort.Float64s(vals)
+	total := 0.0
+	for _, v := range vals {
+		total += v
 	}
 	return total, consumed
 }

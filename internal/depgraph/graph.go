@@ -17,6 +17,7 @@ package depgraph
 
 import (
 	"fmt"
+	"sort"
 
 	"lowutil/internal/ir"
 )
@@ -349,20 +350,38 @@ func (g *Graph) Children(owner *Node, f func(field int, child *Node)) {
 	}
 }
 
-// Nodes calls f for every node in the graph (unspecified order).
+// Nodes calls f for every node in the graph, ordered by (instruction ID,
+// context slot). Deterministic order matters: callers fold node metrics into
+// floating-point sums, and float addition is not associative.
 func (g *Graph) Nodes(f func(*Node)) {
-	for _, n := range g.nodes {
-		f(n)
+	keys := make([]nodeKey, 0, len(g.nodes))
+	for k := range g.nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].instr != keys[j].instr {
+			return keys[i].instr < keys[j].instr
+		}
+		return keys[i].d < keys[j].d
+	})
+	for _, k := range keys {
+		f(g.nodes[k])
 	}
 }
 
-// NodesOf returns all nodes of a given static instruction.
+// NodesOf returns all nodes of a given static instruction, ordered by
+// context slot.
 func (g *Graph) NodesOf(in *ir.Instr) []*Node {
-	var out []*Node
-	for k, n := range g.nodes {
+	var keys []nodeKey
+	for k := range g.nodes {
 		if k.instr == in.ID {
-			out = append(out, n)
+			keys = append(keys, k)
 		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].d < keys[j].d })
+	out := make([]*Node, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, g.nodes[k])
 	}
 	return out
 }

@@ -29,6 +29,11 @@ type Machine struct {
 	MaxDepth int
 	// Seed seeds the deterministic PRNG behind NativeRand.
 	Seed uint64
+	// Prune, when non-nil, is indexed by ir.Instr.ID: marked instructions
+	// execute normally but their events are not reported to the Tracer.
+	// Produced by staticanalysis.PruneSet; valid only for tracers that
+	// ignore base-pointer flow (thin slicing).
+	Prune []bool
 
 	// Statics holds static-field storage, indexed by StaticField.Slot.
 	Statics []Value
@@ -45,6 +50,8 @@ type Machine struct {
 	NativeWork int64
 	// AssertFailures counts NativeAssert calls with a zero argument.
 	AssertFailures int64
+	// PrunedEvents counts tracer events suppressed by Prune.
+	PrunedEvents int64
 
 	frames     []*Frame
 	rng        uint64
@@ -226,6 +233,10 @@ func (m *Machine) step(fr *Frame, in *ir.Instr, base int) error {
 	advance := true
 	var ev Event
 	traced := m.Tracer != nil
+	if traced && m.Prune != nil && in.ID < len(m.Prune) && m.Prune[in.ID] {
+		traced = false
+		m.PrunedEvents++
+	}
 
 	switch in.Op {
 	case ir.OpConst:

@@ -262,6 +262,52 @@ func (in *Instr) WritesHeap() bool {
 	return false
 }
 
+// Def returns the local slot the instruction writes, or -1. For OpCall the
+// destination is assigned when the callee returns, but it is still this
+// instruction's definition for dataflow purposes.
+func (in *Instr) Def() int { return in.Dst }
+
+// Uses calls f for every local slot the instruction reads. base is true for
+// base-pointer operands — the object/array reference of a field or element
+// access — which thin slicing excludes from value flow; every other operand
+// is a value use. A slot read twice (e.g. v0[v0]) is reported twice.
+func (in *Instr) Uses(f func(slot int, base bool)) {
+	switch in.Op {
+	case OpMove, OpNeg, OpNot, OpNewArray, OpInstanceOf:
+		f(in.A, false)
+	case OpBin:
+		f(in.A, false)
+		f(in.B, false)
+	case OpLoadField:
+		f(in.A, true)
+	case OpStoreField:
+		f(in.A, true)
+		f(in.B, false)
+	case OpStoreStatic:
+		f(in.A, false)
+	case OpALoad:
+		f(in.A, true)
+		f(in.B, false)
+	case OpAStore:
+		f(in.A, true)
+		f(in.B, false)
+		f(in.C2, false)
+	case OpArrayLen:
+		f(in.A, true)
+	case OpIf:
+		f(in.A, false)
+		f(in.B, false)
+	case OpCall, OpNative:
+		for _, a := range in.Args {
+			f(a, false)
+		}
+	case OpReturn:
+		if in.HasA {
+			f(in.A, false)
+		}
+	}
+}
+
 // String renders the instruction in a compact disassembly form.
 func (in *Instr) String() string {
 	switch in.Op {

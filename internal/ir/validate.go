@@ -131,40 +131,104 @@ func validateMethod(m *Method) error {
 			}
 		}
 	}
-	// Every path must end in a return: conservatively require the last
-	// instruction to be a return or an unconditional jump backwards, and
-	// check fall-off via a simple reachability walk.
-	if err := checkTermination(m); err != nil {
+	// Control-flow checks run over the method's CFG: no reachable block may
+	// fall off the end of the body, and no reachable read may be of a slot
+	// that no path initializes.
+	cfg := NewCFG(m)
+	for _, b := range cfg.RPO {
+		if cfg.Blocks[b].FallsOff {
+			return fmt.Errorf("ir: %s: control falls off the end of the body", m.QualifiedName())
+		}
+	}
+	if err := checkInitialized(m, cfg); err != nil {
 		return err
 	}
 	return nil
 }
 
-// checkTermination verifies no reachable path falls off the end of the body.
-func checkTermination(m *Method) error {
-	n := len(m.Code)
-	seen := make([]bool, n)
-	stack := []int{0}
-	for len(stack) > 0 {
-		pc := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if pc >= n {
-			return fmt.Errorf("ir: %s: control falls off the end of the body", m.QualifiedName())
+// checkInitialized rejects reads of slots that no control-flow path
+// initializes: a forward may-initialized dataflow (union over predecessors,
+// parameters initialized at entry) over the CFG's reachable blocks. A read
+// outside the may-set means every path to it — including branches that jump
+// over would-be initializations — bypasses the slot's definition. The
+// interpreter would silently produce a zero value there; such bodies are
+// builder bugs, so they are rejected at seal time.
+func checkInitialized(m *Method, cfg *CFG) error {
+	nb := cfg.NumBlocks()
+	if nb == 0 {
+		return nil
+	}
+	words := (m.NumLocals + 63) / 64
+	in := make([][]uint64, nb)
+	out := make([][]uint64, nb)
+	for i := 0; i < nb; i++ {
+		in[i] = make([]uint64, words)
+		out[i] = make([]uint64, words)
+	}
+	has := func(set []uint64, s int) bool { return set[s/64]&(1<<(s%64)) != 0 }
+	add := func(set []uint64, s int) { set[s/64] |= 1 << (s % 64) }
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range cfg.RPO {
+			blk := &cfg.Blocks[b]
+			cur := in[b]
+			for w := range cur {
+				cur[w] = 0
+			}
+			// Union over predecessors; unreachable preds have empty out-sets
+			// and contribute nothing. The entry additionally starts with its
+			// parameters initialized.
+			for _, p := range blk.Preds {
+				for w := range cur {
+					cur[w] |= out[p][w]
+				}
+			}
+			if b == 0 {
+				for s := 0; s < m.Params && s < m.NumLocals; s++ {
+					add(cur, s)
+				}
+			}
+			tmp := make([]uint64, words)
+			copy(tmp, cur)
+			for pc := blk.Start; pc < blk.End; pc++ {
+				if d := m.Code[pc].Def(); d >= 0 {
+					add(tmp, d)
+				}
+			}
+			same := true
+			for w := range tmp {
+				if out[b][w] != tmp[w] {
+					same = false
+				}
+			}
+			if !same {
+				copy(out[b], tmp)
+				changed = true
+			}
 		}
-		if seen[pc] {
-			continue
-		}
-		seen[pc] = true
-		in := &m.Code[pc]
-		switch in.Op {
-		case OpReturn:
-			// terminal
-		case OpGoto:
-			stack = append(stack, in.Target)
-		case OpIf:
-			stack = append(stack, in.Target, pc+1)
-		default:
-			stack = append(stack, pc+1)
+	}
+
+	for _, b := range cfg.RPO {
+		blk := &cfg.Blocks[b]
+		cur := make([]uint64, words)
+		copy(cur, in[b])
+		for pc := blk.Start; pc < blk.End; pc++ {
+			inst := &m.Code[pc]
+			var uerr error
+			inst.Uses(func(s int, _ bool) {
+				if uerr == nil && !has(cur, s) {
+					uerr = fmt.Errorf("ir: %s pc %d (%s): read of slot %d, which no path initializes",
+						m.QualifiedName(), pc, inst.String(), s)
+				}
+			})
+			if uerr != nil {
+				return uerr
+			}
+			if d := inst.Def(); d >= 0 {
+				add(cur, d)
+			}
 		}
 	}
 	return nil

@@ -113,6 +113,20 @@ func (fn *fnCtx) allocTmp() int {
 	return s
 }
 
+// nameSlot records the source name of a declared variable's slot so
+// diagnostics can print it. Scope exit recycles slots, so the first name
+// sticks; a later variable reusing the slot keeps the earlier label.
+func (fn *fnCtx) nameSlot(slot int, name string) {
+	names := fn.ms.m.LocalNames
+	for len(names) <= slot {
+		names = append(names, "")
+	}
+	if names[slot] == "" {
+		names[slot] = name
+	}
+	fn.ms.m.LocalNames = names
+}
+
 // ---- Statements ----
 
 func (fn *fnCtx) lowerBlock(b *ast.Block) error {
@@ -144,6 +158,7 @@ func (fn *fnCtx) lowerStmt(s ast.Stmt) error {
 		}
 		slot := fn.allocTmp() // permanent: survives the statement reset below
 		fn.scope.vars[st.Name] = &local{name: st.Name, slot: slot, typ: typ}
+		fn.nameSlot(slot, st.Name)
 		if st.Init != nil {
 			rs, rt, err := fn.genExpr(st.Init)
 			if err != nil {

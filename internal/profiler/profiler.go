@@ -48,6 +48,12 @@ type Options struct {
 	// the closest dynamic predicate as the control scope). Costs then
 	// include the effort of making the enclosing control decision.
 	TrackControl bool
+	// Prune, when non-nil and indexed by ir.Instr.ID, drops marked events on
+	// arrival (see staticanalysis.PruneSet). Redundant when the Machine
+	// already carries the set — this guard serves tracer stacks the machine
+	// gate cannot reach. Must be nil when Traditional is set: the proof that
+	// pruned instructions are invisible holds only under thin slicing.
+	Prune []bool
 }
 
 // frameShadow is the per-frame tracker state: shadow locals plus the encoded
@@ -80,6 +86,7 @@ type Profiler struct {
 	unabs    bool
 	unabsCap int
 	control  bool
+	prune    []bool
 
 	// statics is the shadow of static-field storage.
 	statics []*depgraph.Node
@@ -116,6 +123,9 @@ func New(prog *ir.Program, opts Options) *Profiler {
 		control: opts.TrackControl,
 		statics: make([]*depgraph.Node, len(prog.Statics)),
 		enabled: true,
+	}
+	if !opts.Traditional {
+		p.prune = opts.Prune
 	}
 	if opts.TrackCR {
 		p.cr = NewCRTracker(prog, s)
@@ -218,6 +228,9 @@ func (p *Profiler) Exec(ev *interp.Event) {
 		return
 	}
 	in := ev.In
+	if p.prune != nil && in.ID < len(p.prune) && p.prune[in.ID] {
+		return
+	}
 	fs := p.fshadow(ev.Frame)
 	g := p.G
 

@@ -1,0 +1,74 @@
+package staticanalysis
+
+import "lowutil/internal/ir"
+
+// Liveness is the per-method backward liveness of local slots. A slot is
+// live at a point when some path from the point reads it before writing it.
+// Base-pointer reads count as reads here — liveness answers "does this slot's
+// current value matter to execution", not the thin-slicing question (that is
+// DefUse's job).
+type Liveness struct {
+	Method *ir.Method
+	CFG    *ir.CFG
+	sol    *Solution
+}
+
+// NewLiveness computes liveness for m over cfg (pass nil to build a fresh
+// CFG).
+func NewLiveness(m *ir.Method, cfg *ir.CFG) *Liveness {
+	if cfg == nil {
+		cfg = ir.NewCFG(m)
+	}
+	nb := cfg.NumBlocks()
+	p := &Problem{
+		CFG:      cfg,
+		Bits:     m.NumLocals,
+		Backward: true,
+		Gen:      make([]BitSet, nb),
+		Kill:     make([]BitSet, nb),
+	}
+	for b := 0; b < nb; b++ {
+		gen := NewBitSet(m.NumLocals)
+		kill := NewBitSet(m.NumLocals)
+		blk := &cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			in := &m.Code[pc]
+			in.Uses(func(s int, _ bool) {
+				if !kill.Has(s) {
+					gen.Set(s)
+				}
+			})
+			if d := in.Def(); d >= 0 {
+				kill.Set(d)
+			}
+		}
+		p.Gen[b] = gen
+		p.Kill[b] = kill
+	}
+	return &Liveness{Method: m, CFG: cfg, sol: Solve(p)}
+}
+
+// LiveIn returns the live set at block b's entry. The returned set is the
+// solver's own; callers must not mutate it.
+func (lv *Liveness) LiveIn(b int) BitSet { return lv.sol.In[b] }
+
+// LiveOut returns the live set at block b's exit.
+func (lv *Liveness) LiveOut(b int) BitSet { return lv.sol.Out[b] }
+
+// LiveOutAt returns the set of slots live immediately after pc, computed by
+// walking pc's block backward from its live-out set. The returned set is
+// fresh and owned by the caller.
+func (lv *Liveness) LiveOutAt(pc int) BitSet {
+	b := lv.CFG.BlockOf[pc]
+	blk := &lv.CFG.Blocks[b]
+	live := NewBitSet(lv.Method.NumLocals)
+	live.CopyFrom(lv.sol.Out[b])
+	for i := blk.End - 1; i > pc; i-- {
+		in := &lv.Method.Code[i]
+		if d := in.Def(); d >= 0 {
+			live.Clear(d)
+		}
+		in.Uses(func(s int, _ bool) { live.Set(s) })
+	}
+	return live
+}

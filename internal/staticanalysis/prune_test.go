@@ -1,0 +1,163 @@
+package staticanalysis
+
+import (
+	"testing"
+
+	"lowutil/internal/costben"
+	"lowutil/internal/depgraph"
+	"lowutil/internal/interp"
+	"lowutil/internal/ir"
+	"lowutil/internal/profiler"
+	"lowutil/internal/workloads"
+)
+
+// TestPruneMarksOnlyPureOps: the prune set must never touch loads, stores,
+// allocations, calls, predicates or control flow — those carry the events
+// the cost-benefit analyses are made of.
+func TestPruneMarksOnlyPureOps(t *testing.T) {
+	for _, w := range workloads.All() {
+		prog, err := w.Compile(1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		prune, st := PruneSet(prog)
+		if st.Pruned > st.Candidates {
+			t.Errorf("%s: pruned %d > candidates %d", w.Name, st.Pruned, st.Candidates)
+		}
+		n := 0
+		for i := range prog.Instrs {
+			in := prog.Instrs[i]
+			if in.ID < len(prune) && prune[in.ID] {
+				n++
+				if !pruneOps[in.Op] {
+					t.Errorf("%s: pruned non-pure op %s at %s pc %d",
+						w.Name, in.Op, in.Method.QualifiedName(), in.PC)
+				}
+			}
+		}
+		if n != st.Pruned {
+			t.Errorf("%s: prune set has %d marks, stats say %d", w.Name, n, st.Pruned)
+		}
+	}
+}
+
+// TestPruneKeepsTaintedLoads: values derived from heap reads sit inside
+// forward benefit slices and must never be pruned, even when dead.
+func TestPruneKeepsTaintedLoads(t *testing.T) {
+	b := ir.NewBuilder()
+	cls := b.Class("Main", nil)
+	fv := b.Field(cls, "v", ir.IntType)
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.New(0, cls)          // pc0
+	mb.Const(1, 3)          // pc1
+	mb.StoreField(0, fv, 1) // pc2
+	mb.LoadField(2, 0, fv)  // pc3
+	mb.Move(3, 2)           // pc4: dead, but load-derived — in v's benefit slice
+	mb.Const(4, 9)          // pc5: dead and taint-free — prunable
+	mb.ReturnVoid()
+	prog, err := b.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prune, st := PruneSet(prog)
+	if prune[prog.Instrs[4].ID] {
+		t.Error("pc4 copies a loaded value; pruning it would change RAB")
+	}
+	if !prune[prog.Instrs[5].ID] {
+		t.Error("pc5 is a dead taint-free const; it must be prunable")
+	}
+	if st.Pruned < 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestPrunePreservesRankings: profiling each workload with and without the
+// prune set must yield the identical per-site cost-benefit ranking — same
+// sites, same order, same NRAC/NRAB — while suppressing a measurable number
+// of Gcost events on the workloads that carry dead scratch computation.
+func TestPrunePreservesRankings(t *testing.T) {
+	var totalPruned int64
+	prunedWorkloads := 0
+	for _, w := range workloads.All() {
+		prog, err := w.Compile(1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		run := func(prune []bool) (*depgraph.Graph, int64) {
+			p := profiler.New(prog, profiler.Options{Slots: 16, Prune: prune})
+			m := interp.New(prog)
+			m.Tracer = p
+			m.Prune = prune
+			m.MaxSteps = 200_000_000
+			if err := m.Run(); err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			return p.G, m.PrunedEvents
+		}
+		gFull, zero := run(nil)
+		if zero != 0 {
+			t.Fatalf("%s: unpruned run counted %d pruned events", w.Name, zero)
+		}
+		prune, _ := PruneSet(prog)
+		gPruned, nPruned := run(prune)
+
+		full := costben.NewAnalysis(gFull).RankBySite(4)
+		pr := costben.NewAnalysis(gPruned).RankBySite(4)
+		if len(full) != len(pr) {
+			t.Fatalf("%s: site count %d vs %d under prune", w.Name, len(full), len(pr))
+		}
+		for i := range full {
+			f, p := full[i], pr[i]
+			if f.Site != p.Site || f.NRAC != p.NRAC || f.NRAB != p.NRAB || f.Consumed != p.Consumed {
+				t.Errorf("%s: rank %d diverges: %v vs %v", w.Name, i, f, p)
+			}
+		}
+		totalPruned += nPruned
+		if nPruned > 0 {
+			prunedWorkloads++
+		}
+	}
+	if totalPruned == 0 {
+		t.Error("prune suppressed no events on any workload")
+	}
+	if prunedWorkloads < 3 {
+		t.Errorf("only %d workloads had suppressed events, want >= 3", prunedWorkloads)
+	}
+	t.Logf("suppressed %d events across %d workloads", totalPruned, prunedWorkloads)
+}
+
+// TestPruneDoesNotChangeExecution: pruning gates tracing only; outputs and
+// step counts must match an untraced run exactly.
+func TestPruneDoesNotChangeExecution(t *testing.T) {
+	w := workloads.ByName("luindex")
+	prog, err := w.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := interp.New(prog)
+	if err := plain.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prune, _ := PruneSet(prog)
+	pruned := interp.New(prog)
+	pruned.Tracer = interp.NopTracer{}
+	pruned.Prune = prune
+	if err := pruned.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Steps != pruned.Steps {
+		t.Errorf("steps %d vs %d: pruning must not change execution", plain.Steps, pruned.Steps)
+	}
+	if len(plain.Output) != len(pruned.Output) {
+		t.Fatal("output lengths differ")
+	}
+	for i := range plain.Output {
+		if plain.Output[i] != pruned.Output[i] {
+			t.Errorf("output %d differs", i)
+		}
+	}
+	if pruned.PrunedEvents == 0 {
+		t.Error("luindex must have suppressed events")
+	}
+}

@@ -1,0 +1,121 @@
+package staticanalysis
+
+import "lowutil/internal/ir"
+
+// ReachingDefs is the per-method reaching-definitions solution plus the
+// def-use chains derived from it. Definitions are instruction pcs that write
+// a slot; each parameter contributes one pseudo-definition at method entry,
+// numbered len(m.Code)+slot.
+type ReachingDefs struct {
+	Method *ir.Method
+	CFG    *ir.CFG
+
+	sol *Solution
+	// defsOfSlot[s] is the bit set of definitions writing slot s.
+	defsOfSlot []BitSet
+
+	// uses[d] lists the uses reached by definition d (a pc, or a param
+	// pseudo-def index). Built lazily by DefUse.
+	uses [][]Use
+}
+
+// Use is one read of a definition's value.
+type Use struct {
+	// PC is the reading instruction.
+	PC int
+	// Base marks a base-pointer read (the object/array operand of a field or
+	// element access), which thin slicing excludes from value flow.
+	Base bool
+}
+
+// ParamDef returns the pseudo-definition index of parameter slot s.
+func (rd *ReachingDefs) ParamDef(s int) int { return len(rd.Method.Code) + s }
+
+// IsParamDef reports whether definition d is a parameter pseudo-definition.
+func (rd *ReachingDefs) IsParamDef(d int) bool { return d >= len(rd.Method.Code) }
+
+// NewReachingDefs computes reaching definitions for m over cfg (nil builds a
+// fresh CFG).
+func NewReachingDefs(m *ir.Method, cfg *ir.CFG) *ReachingDefs {
+	if cfg == nil {
+		cfg = ir.NewCFG(m)
+	}
+	n := len(m.Code)
+	bitCount := n + m.Params // real defs + param pseudo-defs
+	rd := &ReachingDefs{Method: m, CFG: cfg, defsOfSlot: make([]BitSet, m.NumLocals)}
+	for s := range rd.defsOfSlot {
+		rd.defsOfSlot[s] = NewBitSet(bitCount)
+	}
+	for pc := range m.Code {
+		if d := m.Code[pc].Def(); d >= 0 {
+			rd.defsOfSlot[d].Set(pc)
+		}
+	}
+	boundary := NewBitSet(bitCount)
+	for s := 0; s < m.Params && s < m.NumLocals; s++ {
+		rd.defsOfSlot[s].Set(n + s)
+		boundary.Set(n + s)
+	}
+
+	nb := cfg.NumBlocks()
+	p := &Problem{
+		CFG:      cfg,
+		Bits:     bitCount,
+		Gen:      make([]BitSet, nb),
+		Kill:     make([]BitSet, nb),
+		Boundary: boundary,
+	}
+	for b := 0; b < nb; b++ {
+		gen := NewBitSet(bitCount)
+		kill := NewBitSet(bitCount)
+		blk := &cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			if d := m.Code[pc].Def(); d >= 0 {
+				kill.UnionWith(rd.defsOfSlot[d])
+				gen.AndNot(rd.defsOfSlot[d])
+				gen.Set(pc)
+			}
+		}
+		p.Gen[b] = gen
+		p.Kill[b] = kill
+	}
+	rd.sol = Solve(p)
+	return rd
+}
+
+// ReachIn returns the definitions reaching block b's entry (solver-owned).
+func (rd *ReachingDefs) ReachIn(b int) BitSet { return rd.sol.In[b] }
+
+// DefUse returns the def-use chains: for each definition d (a pc with a
+// destination, or a parameter pseudo-def), the list of uses its value can
+// reach. Locals are frame-private, so the chains are complete — there is no
+// interprocedural aliasing to miss.
+func (rd *ReachingDefs) DefUse() [][]Use {
+	if rd.uses != nil {
+		return rd.uses
+	}
+	m := rd.Method
+	n := len(m.Code)
+	rd.uses = make([][]Use, n+m.Params)
+	cur := NewBitSet(n + m.Params)
+	for _, b := range rd.CFG.RPO {
+		blk := &rd.CFG.Blocks[b]
+		cur.CopyFrom(rd.sol.In[b])
+		for pc := blk.Start; pc < blk.End; pc++ {
+			in := &m.Code[pc]
+			in.Uses(func(s int, base bool) {
+				reach := NewBitSet(n + m.Params)
+				reach.CopyFrom(cur)
+				reach.IntersectWith(rd.defsOfSlot[s])
+				reach.Range(func(d int) {
+					rd.uses[d] = append(rd.uses[d], Use{PC: pc, Base: base})
+				})
+			})
+			if d := in.Def(); d >= 0 {
+				cur.AndNot(rd.defsOfSlot[d])
+				cur.Set(pc)
+			}
+		}
+	}
+	return rd.uses
+}

@@ -1,0 +1,355 @@
+package staticanalysis
+
+import (
+	"fmt"
+	"sort"
+
+	"lowutil/internal/ir"
+)
+
+// Kind classifies a vet finding.
+type Kind uint8
+
+const (
+	// KindDeadStore: a local definition whose value no path ever reads.
+	KindDeadStore Kind = iota
+	// KindWriteOnlyField: a field stored somewhere but loaded nowhere in the
+	// whole program — the static shadow of a dynamically zero-benefit
+	// location.
+	KindWriteOnlyField
+	// KindUnusedAlloc: an allocation whose object is only ever constructed
+	// (stored into) and never read from or passed anywhere.
+	KindUnusedAlloc
+	// KindUnreachable: a basic block no path from the method entry reaches.
+	KindUnreachable
+	// KindUninitRead: a read of a slot some path reaches without
+	// initializing (reads no path initializes are rejected at seal time).
+	KindUninitRead
+)
+
+var kindNames = [...]string{
+	KindDeadStore:      "dead-store",
+	KindWriteOnlyField: "write-only-field",
+	KindUnusedAlloc:    "unused-alloc",
+	KindUnreachable:    "unreachable-code",
+	KindUninitRead:     "uninit-read",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Finding is one vet diagnostic, anchored to a method pc (or to a field for
+// program-level findings, with Method == "" and PC == -1).
+type Finding struct {
+	Kind   Kind
+	Class  string
+	Method string
+	PC     int
+	Line   int
+	Detail string
+}
+
+func (f Finding) String() string {
+	if f.Method == "" {
+		return fmt.Sprintf("%s: [%s] %s", f.Class, f.Kind, f.Detail)
+	}
+	loc := fmt.Sprintf("%s.%s:%d", f.Class, f.Method, f.PC)
+	if f.Line > 0 {
+		loc = fmt.Sprintf("%s (line %d)", loc, f.Line)
+	}
+	return fmt.Sprintf("%s: [%s] %s", loc, f.Kind, f.Detail)
+}
+
+// deadStoreOps are the value-producing opcodes eligible for dead-store
+// reporting: recomputable work with no heap write, call, allocation, or
+// consumer semantics. Loads are included — an unread loaded value is exactly
+// the waste the paper measures — but allocations are left to the
+// unused-alloc check, and calls/natives may have effects.
+var deadStoreOps = map[ir.Op]bool{
+	ir.OpConst:      true,
+	ir.OpMove:       true,
+	ir.OpBin:        true,
+	ir.OpNeg:        true,
+	ir.OpNot:        true,
+	ir.OpInstanceOf: true,
+	ir.OpLoadField:  true,
+	ir.OpLoadStatic: true,
+	ir.OpALoad:      true,
+	ir.OpArrayLen:   true,
+}
+
+// Vet runs the full static diagnostics suite over prog and returns the
+// findings sorted by (class, method, pc, kind) so output is byte-identical
+// across runs.
+func Vet(prog *ir.Program) []Finding {
+	var out []Finding
+	out = append(out, writeOnlyFields(prog)...)
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			out = append(out, vetMethod(m)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Detail < b.Detail
+	})
+	return out
+}
+
+// writeOnlyFields finds instance and static fields stored somewhere but
+// loaded nowhere in the program.
+func writeOnlyFields(prog *ir.Program) []Finding {
+	loaded := make(map[*ir.Field]bool)
+	stored := make(map[*ir.Field]bool)
+	staticLoaded := make(map[*ir.StaticField]bool)
+	staticStored := make(map[*ir.StaticField]bool)
+	for _, in := range prog.Instrs {
+		switch in.Op {
+		case ir.OpLoadField:
+			loaded[in.Field] = true
+		case ir.OpStoreField:
+			stored[in.Field] = true
+		case ir.OpLoadStatic:
+			staticLoaded[in.Static] = true
+		case ir.OpStoreStatic:
+			staticStored[in.Static] = true
+		}
+	}
+	var out []Finding
+	for _, c := range prog.Classes {
+		for _, f := range c.Fields {
+			if stored[f] && !loaded[f] {
+				out = append(out, Finding{
+					Kind:   KindWriteOnlyField,
+					Class:  c.Name,
+					PC:     -1,
+					Detail: fmt.Sprintf("field %s is stored but never loaded", f.QualifiedName()),
+				})
+			}
+		}
+	}
+	for _, sf := range prog.Statics {
+		if staticStored[sf] && !staticLoaded[sf] {
+			out = append(out, Finding{
+				Kind:   KindWriteOnlyField,
+				Class:  sf.Class.Name,
+				PC:     -1,
+				Detail: fmt.Sprintf("static field %s is stored but never loaded", sf.QualifiedName()),
+			})
+		}
+	}
+	return out
+}
+
+// vetMethod runs the per-method checks: dead stores, unused allocations,
+// unreachable code, and possibly-uninitialized reads.
+func vetMethod(m *ir.Method) []Finding {
+	cfg := ir.NewCFG(m)
+	rd := NewReachingDefs(m, cfg)
+	du := rd.DefUse()
+	var out []Finding
+
+	finding := func(kind Kind, pc int, format string, args ...any) Finding {
+		return Finding{
+			Kind:   kind,
+			Class:  m.Class.Name,
+			Method: m.Name,
+			PC:     pc,
+			Line:   m.Code[pc].Line,
+			Detail: fmt.Sprintf(format, args...),
+		}
+	}
+
+	// Dead stores: a definition with no uses at all. Zero/null constants are
+	// exempt — the MJ front end synthesizes them for every declaration
+	// without an initializer, and `int x = 0; if (...) x = 1;` is idiomatic.
+	for pc := range m.Code {
+		in := &m.Code[pc]
+		if in.Def() < 0 || !deadStoreOps[in.Op] || !cfg.Reachable(cfg.BlockOf[pc]) {
+			continue
+		}
+		if in.Op == ir.OpConst && (in.IsNull || in.Imm == 0) {
+			continue
+		}
+		if len(du[pc]) == 0 {
+			out = append(out, finding(KindDeadStore, pc,
+				"value of %s (%s) is never used", m.LocalName(in.Dst), in))
+		}
+	}
+
+	// Unused allocations: the object is only ever written into (it is a
+	// store base) or copied between locals; it is never loaded from, never
+	// compared, and never escapes into a call, the heap, or the return
+	// value. Aliases through OpMove are followed; any read through any alias
+	// counts as a use.
+	for pc := range m.Code {
+		in := &m.Code[pc]
+		if !in.IsAlloc() || !cfg.Reachable(cfg.BlockOf[pc]) {
+			continue
+		}
+		if allocIsUnused(m, du, pc) {
+			out = append(out, finding(KindUnusedAlloc, pc,
+				"allocation (%s) never escapes and is never read", in))
+		}
+	}
+
+	// Unreachable code. Blocks holding only gotos and void returns are
+	// compiler plumbing (the MJ front end emits a jump after a returning
+	// then-branch and a trailing return after a returning body) and are not
+	// reported.
+	for b := range cfg.Blocks {
+		blk := &cfg.Blocks[b]
+		if cfg.Reachable(b) {
+			continue
+		}
+		artifact := true
+		for pc := blk.Start; pc < blk.End; pc++ {
+			in := &m.Code[pc]
+			if in.Op != ir.OpGoto && !(in.Op == ir.OpReturn && !in.HasA) {
+				artifact = false
+				break
+			}
+		}
+		if !artifact {
+			out = append(out, finding(KindUnreachable, blk.Start,
+				"unreachable code (%d instructions)", blk.End-blk.Start))
+		}
+	}
+
+	// Possibly-uninitialized reads: a must-initialized forward analysis
+	// (intersection over predecessors). A read outside the must-set has some
+	// path that bypasses the slot's initialization. Reads with *no*
+	// initializing path are rejected by the IR validator before a program
+	// gets here.
+	out = append(out, uninitReads(m, cfg)...)
+	return out
+}
+
+// allocIsUnused walks the def-use chains from the allocation at pc,
+// following local-to-local moves, and reports whether every transitive use
+// is a construction-only use (a store with the object as base).
+func allocIsUnused(m *ir.Method, du [][]Use, pc int) bool {
+	visited := map[int]bool{pc: true}
+	work := []int{pc}
+	for len(work) > 0 {
+		d := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, u := range du[d] {
+			in := &m.Code[u.PC]
+			switch {
+			case in.Op == ir.OpMove:
+				if !visited[u.PC] {
+					visited[u.PC] = true
+					work = append(work, u.PC)
+				}
+			case u.Base && (in.Op == ir.OpStoreField || in.Op == ir.OpAStore):
+				// Writing into the object: construction work only.
+			default:
+				// Loaded from, compared, returned, passed, or stored as a
+				// value — the object is used.
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// uninitReads reports reads of slots not must-initialized at the read point.
+func uninitReads(m *ir.Method, cfg *ir.CFG) []Finding {
+	nb := cfg.NumBlocks()
+	if nb == 0 {
+		return nil
+	}
+	boundary := NewBitSet(m.NumLocals)
+	for s := 0; s < m.Params && s < m.NumLocals; s++ {
+		boundary.Set(s)
+	}
+	p := &Problem{
+		CFG:       cfg,
+		Bits:      m.NumLocals,
+		Intersect: true,
+		Gen:       make([]BitSet, nb),
+		Kill:      make([]BitSet, nb),
+		Boundary:  boundary,
+	}
+	for b := 0; b < nb; b++ {
+		gen := NewBitSet(m.NumLocals)
+		blk := &cfg.Blocks[b]
+		for pc := blk.Start; pc < blk.End; pc++ {
+			if d := m.Code[pc].Def(); d >= 0 {
+				gen.Set(d)
+			}
+		}
+		p.Gen[b] = gen
+		p.Kill[b] = NewBitSet(m.NumLocals)
+	}
+	sol := Solve(p)
+
+	var out []Finding
+	cur := NewBitSet(m.NumLocals)
+	for _, b := range cfg.RPO {
+		blk := &cfg.Blocks[b]
+		cur.CopyFrom(sol.In[b])
+		for pc := blk.Start; pc < blk.End; pc++ {
+			in := &m.Code[pc]
+			reported := false
+			in.Uses(func(s int, _ bool) {
+				if reported || cur.Has(s) {
+					return
+				}
+				reported = true
+				out = append(out, Finding{
+					Kind:   KindUninitRead,
+					Class:  m.Class.Name,
+					Method: m.Name,
+					PC:     pc,
+					Line:   in.Line,
+					Detail: fmt.Sprintf("%s may be read before initialization (%s)", m.LocalName(s), in),
+				})
+			})
+			if d := in.Def(); d >= 0 {
+				cur.Set(d)
+			}
+		}
+	}
+	return out
+}
+
+// WriteOnlyFieldIDs returns the dense IDs of instance fields that are stored
+// but never loaded anywhere in the program — the static cross-check the
+// cost-benefit report compares against dynamically zero-benefit locations.
+func WriteOnlyFieldIDs(prog *ir.Program) map[int]bool {
+	loaded := make(map[int]bool)
+	stored := make(map[int]bool)
+	for _, in := range prog.Instrs {
+		switch in.Op {
+		case ir.OpLoadField:
+			loaded[in.Field.ID] = true
+		case ir.OpStoreField:
+			stored[in.Field.ID] = true
+		}
+	}
+	out := make(map[int]bool)
+	for id := range stored {
+		if !loaded[id] {
+			out[id] = true
+		}
+	}
+	return out
+}

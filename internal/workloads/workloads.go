@@ -237,6 +237,8 @@ class Main {
     Builder bld = new Builder();
     int acc = 0;
     for (int r = 0; r < rounds; r = r + 1) {
+      int traceSeq = r * 8191 + 17;            // trace id for disabled logging
+      traceSeq = (traceSeq ^ (r * 31)) %% 65536;
       Node t1 = bld.build(5, r + 1);
       Node t2 = bld.build(5, r + 2);
       NodeComparator cmp = new NodeComparator();
@@ -409,6 +411,7 @@ class Main {
     AstGen g = new AstGen();
     RuleEngine re = new RuleEngine();
     for (int f = 0; f < files; f = f + 1) {
+      int progressPct = f * 100 / files;       // progress meter, reporting off
       AstNode root = g.gen(4, f + 23);
       re.check(root);
     }
@@ -549,6 +552,8 @@ class Main {
     Pipeline p = new Pipeline();
     int total = 0;
     for (int i = 0; i < docs; i = i + 1) {
+      int stageTicks = i * 3 + 11;             // stage timing, never reported
+      stageTicks = stageTicks * stageTicks %% 8191;
       SrcNode src = g.gen(70, i * 13 + 1);
       DomNode dom = p.toDom(src);
       OutNode out = p.toOut(dom);
@@ -608,6 +613,7 @@ class Main {
     t.init(64);
     int total = 0;
     for (int i = 0; i < txns; i = i + 1) {
+      int txnTag = (i * 48271) %% 1000000;     // txn tag for an audit log that is off
       t.insert(i, i * 17 %% 991, i + 41);
       total = total + t.lookup(i / 2);
     }
@@ -661,6 +667,7 @@ class Main {
     idx.init(vocab);
     for (int d = 0; d < docs; d = d + 1) {
       for (int t = 0; t < tokensPerDoc; t = t + 1) {
+        int tokenSeq = t * 7 + 3;              // per-token seq for a disabled trace
         int h = hash(d * 1000 + t);
         if (h < 0) { h = -h; }
         idx.add(h %% vocab, d);

@@ -45,6 +45,7 @@ import (
 	"lowutil/internal/ir"
 	"lowutil/internal/mjc"
 	"lowutil/internal/profiler"
+	"lowutil/internal/staticanalysis"
 )
 
 // Program is a compiled MJ program.
@@ -75,6 +76,39 @@ func (p *Program) Disassemble() string { return p.prog.Disassemble() }
 
 // NumInstructions returns the static instruction count (domain I).
 func (p *Program) NumInstructions() int { return p.prog.NumInstrs() }
+
+// VetFinding is one diagnostic from the static vet suite.
+type VetFinding struct {
+	// Kind is the finding class: "dead-store", "write-only-field",
+	// "unused-alloc", "unreachable-code" or "uninit-read".
+	Kind string
+	// Class, Method and PC anchor the finding ("" / -1 for program-level
+	// field findings); Line is the MJ source line when known.
+	Class, Method string
+	PC, Line      int
+	// Message is the rendered diagnostic.
+	Message string
+}
+
+// Vet runs the static diagnostics suite — no execution involved — and
+// returns the findings sorted by (class, method, pc) so output is stable
+// across runs. Zero findings means the program is clean under all five
+// checks.
+func (p *Program) Vet() []VetFinding {
+	fs := staticanalysis.Vet(p.prog)
+	out := make([]VetFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, VetFinding{
+			Kind:    f.Kind.String(),
+			Class:   f.Class,
+			Method:  f.Method,
+			PC:      f.PC,
+			Line:    f.Line,
+			Message: f.String(),
+		})
+	}
+	return out
+}
 
 // RunResult summarizes an uninstrumented execution.
 type RunResult struct {
@@ -112,6 +146,13 @@ type ProfileOptions struct {
 	// decision in each value's cost (§3.2's "considering vs ignoring
 	// control decision making" alternative).
 	TrackControl bool
+	// StaticPrune runs the static pre-analysis first and skips Gcost event
+	// emission for instructions it proves irrelevant to heap value flow
+	// (dead stores and pure base-pointer arithmetic — see
+	// staticanalysis.PruneSet). Sound only for thin slicing, so it is
+	// ignored when Traditional is set. Rankings are unchanged; the trace
+	// just gets cheaper.
+	StaticPrune bool
 }
 
 // Profile runs the program under the cost-benefit profiler.
@@ -124,6 +165,9 @@ func (p *Program) Profile(opts ProfileOptions) (*Profile, error) {
 	})
 	m := interp.New(p.prog)
 	m.Tracer = prof
+	if opts.StaticPrune && !opts.Traditional {
+		m.Prune, _ = staticanalysis.PruneSet(p.prog)
+	}
 	if err := m.Run(); err != nil {
 		return nil, err
 	}
@@ -135,6 +179,7 @@ func (p *Program) Profile(opts ProfileOptions) (*Profile, error) {
 		prog:   p.prog,
 		prof:   prof,
 		steps:  m.Steps,
+		pruned: m.PrunedEvents,
 		an:     costben.NewAnalysis(prof.G),
 		height: height,
 	}, nil
@@ -146,9 +191,14 @@ type Profile struct {
 	prog   *ir.Program
 	prof   *profiler.Profiler
 	steps  int64
+	pruned int64
 	an     *costben.Analysis
 	height int
 }
+
+// PrunedEvents reports how many tracer events the static prune set
+// suppressed during the profiled run (0 unless StaticPrune was set).
+func (pr *Profile) PrunedEvents() int64 { return pr.pruned }
 
 // Finding is one ranked low-utility data structure.
 type Finding struct {
@@ -221,7 +271,73 @@ func (pr *Profile) Report(k int) string {
 	for i, f := range pr.TopStructures(k) {
 		fmt.Fprintf(&sb, "%3d. %s\n", i+1, f)
 	}
+	if checks := pr.StaticCrossCheck(); len(checks) > 0 {
+		sb.WriteString("static cross-check (zero-benefit fields):\n")
+		for _, c := range checks {
+			fmt.Fprintf(&sb, "     %s\n", c)
+		}
+	}
 	return sb.String()
+}
+
+// FieldCrossCheck compares the static write-only verdict for one instance
+// field with the dynamic benefit the profiled run observed for it.
+type FieldCrossCheck struct {
+	// Field is the qualified field name.
+	Field string
+	// StaticWriteOnly reports that no load of the field exists anywhere in
+	// the program text.
+	StaticWriteOnly bool
+	// Stores and Loads count the run's dynamic accesses across all
+	// instances of the field.
+	Stores, Loads int64
+}
+
+func (c FieldCrossCheck) String() string {
+	verdict := "statically loaded, dynamically dead only"
+	if c.StaticWriteOnly {
+		verdict = "static write-only, dynamics agree"
+	}
+	return fmt.Sprintf("%s: %d stores, %d loads — %s", c.Field, c.Stores, c.Loads, verdict)
+}
+
+// StaticCrossCheck lists every instance field that yielded zero dynamic
+// benefit (stored during the run, never loaded), split by whether the static
+// analysis already proves it write-only. A statically write-only field can
+// never be loaded at run time, so those rows must agree by construction;
+// the remaining rows are fields the program does load somewhere but this
+// run never did — flaggable only dynamically.
+func (pr *Profile) StaticCrossCheck() []FieldCrossCheck {
+	writeOnly := staticanalysis.WriteOnlyFieldIDs(pr.prog)
+	type acc struct{ stores, loads int64 }
+	perField := make(map[int]*acc)
+	pr.prof.G.Locs(func(loc depgraph.Loc) {
+		if loc.Alloc == nil || loc.Field == depgraph.ElemField {
+			return
+		}
+		rep := pr.an.CacheAnalysis(loc)
+		a := perField[loc.Field]
+		if a == nil {
+			a = &acc{}
+			perField[loc.Field] = a
+		}
+		a.stores += rep.Stores
+		a.loads += rep.Loads
+	})
+	var out []FieldCrossCheck
+	for id, a := range perField {
+		if a.loads > 0 || a.stores == 0 {
+			continue
+		}
+		out = append(out, FieldCrossCheck{
+			Field:           pr.prog.FieldByID(id).QualifiedName(),
+			StaticWriteOnly: writeOnly[id],
+			Stores:          a.stores,
+			Loads:           a.loads,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Field < out[j].Field })
+	return out
 }
 
 // GraphStats describes the dependence graph.

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Pre-PR gate: formatting, vet, build, tests. Run via `make check` or
+# directly. Fails fast with the first offending step.
+set -e
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+echo "check: OK"
