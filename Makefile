@@ -10,4 +10,4 @@ test:
 	go test ./...
 
 bench:
-	go test -bench=. -benchtime=1x ./...
+	sh scripts/bench.sh

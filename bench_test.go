@@ -59,6 +59,7 @@ func runBaseline(b *testing.B, prog *ir.Program) {
 
 func runProfiled(b *testing.B, prog *ir.Program, opts profiler.Options) *profiler.Profiler {
 	b.Helper()
+	b.ReportAllocs()
 	var p *profiler.Profiler
 	for i := 0; i < b.N; i++ {
 		p = profiler.New(prog, opts)
@@ -231,13 +232,23 @@ func BenchmarkCostBenefitAnalysis(b *testing.B) {
 	if err := m.Run(); err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a := costben.NewAnalysis(p.G)
-		ranked := a.RankBySite(costben.DefaultTreeHeight)
-		if len(ranked) == 0 {
-			b.Fatal("empty ranking")
-		}
+	for _, mode := range []struct {
+		name string
+		cfg  costben.Config
+	}{
+		{"frozen", costben.Config{}},
+		{"legacy", costben.Config{Legacy: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := costben.NewAnalysisWith(p.G, mode.cfg)
+				ranked := a.RankBySite(costben.DefaultTreeHeight)
+				if len(ranked) == 0 {
+					b.Fatal("empty ranking")
+				}
+			}
+		})
 	}
 }
 
@@ -249,6 +260,8 @@ func BenchmarkDeadness(b *testing.B) {
 	if err := m.Run(); err != nil {
 		b.Fatal(err)
 	}
+	p.G.Freeze() // the snapshot is part of the analysis input, not the loop
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := deadness.Analyze(p.G, m.Steps)

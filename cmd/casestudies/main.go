@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	casestudies [-scale N] [-s slots] [-v] [name ...]
+//	casestudies [-scale N] [-s slots] [-workers N] [-v] [name ...]
 package main
 
 import (
@@ -15,11 +15,13 @@ import (
 	"os"
 
 	"lowutil/internal/casestudies"
+	"lowutil/internal/par"
 )
 
 func main() {
 	scale := flag.Int("scale", 4, "workload scale factor")
 	slots := flag.Int("s", 16, "context slots")
+	workers := flag.Int("workers", 0, "parallel studies (0 = all CPUs)")
 	verbose := flag.Bool("v", false, "print the tool's top report per study")
 	flag.Parse()
 
@@ -43,16 +45,21 @@ func main() {
 	}
 	fmt.Println()
 
-	for _, cs := range list {
-		res, err := cs.Run(*scale, *slots)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "casestudies: %v\n", err)
+	// Studies are independent: fan out, then print in the listed order.
+	results := make([]*casestudies.Result, len(list))
+	errs := make([]error, len(list))
+	par.ForEach(len(list), *workers, func(i int) {
+		results[i], errs[i] = list[i].Run(*scale, *slots)
+	})
+	for i, cs := range list {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "casestudies: %v\n", errs[i])
 			os.Exit(1)
 		}
-		fmt.Println(res)
+		fmt.Println(results[i])
 		if *verbose {
 			fmt.Printf("  pattern: %s\n  fix:     %s\n  tool report:\n", cs.Pattern, cs.Fix)
-			fmt.Println(indent(res.TopReport, "    "))
+			fmt.Println(indent(results[i].TopReport, "    "))
 		}
 	}
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	table1 [-scale N] [-slots 8,16] [-only chart,fop] [-phases] [-ablations]
+//	table1 [-scale N] [-slots 8,16] [-only chart,fop] [-workers N] [-phases] [-ablations]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated workload subset (default: all 18)")
 	phases := flag.Bool("phases", false, "also run the phase-restricted tracking experiment")
 	ablations := flag.Bool("ablations", false, "also run the thin-vs-traditional and abstract-vs-concrete ablations")
+	workers := flag.Int("workers", 1, "parallel workloads (0 = all CPUs; >1 perturbs the overhead column)")
 	quiet := flag.Bool("q", false, "suppress per-workload progress")
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 		}
 		slots = append(slots, s)
 	}
-	opts := evalharness.Options{Scale: *scale, Slots: slots}
+	opts := evalharness.Options{Scale: *scale, Slots: slots, Workers: *workers}
 	if *only != "" {
 		opts.Only = strings.Split(*only, ",")
 	}

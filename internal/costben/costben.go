@@ -9,9 +9,11 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"lowutil/internal/depgraph"
 	"lowutil/internal/ir"
+	"lowutil/internal/par"
 )
 
 // InfiniteRAB marks a single location whose values flow to predicate or
@@ -33,11 +35,31 @@ const ConsumedRAB = 1e7
 // complex container classes in the Java collection framework".
 const DefaultTreeHeight = 4
 
-// Analysis caches per-node HRAC/HRAB and exposes the paper's metrics over a
-// finished Gcost.
-type Analysis struct {
-	G *depgraph.Graph
+// Config selects the analysis implementation.
+type Config struct {
+	// Legacy switches back to the per-query graph traversal the frozen DP
+	// replaced. Legacy caches are not goroutine-safe, so legacy analyses
+	// always rank serially.
+	Legacy bool
+	// Workers bounds the ranking worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
 
+// Analysis computes the paper's metrics over a finished Gcost. The default
+// implementation freezes the graph into a CSR snapshot and computes
+// HRAC/HRAB for all nodes in one condensed DP sweep; Config.Legacy restores
+// the per-query traversal path.
+type Analysis struct {
+	G   *depgraph.Graph
+	cfg Config
+
+	// Frozen path: snapshot plus the snapshot-memoized DP arrays, attached
+	// on first use.
+	snap   *depgraph.Snapshot
+	dpOnce sync.Once
+	dp     *dpData
+
+	// Legacy path: per-node memo maps.
 	hrac map[*depgraph.Node]int64
 	hrab map[*depgraph.Node]hrabEntry
 }
@@ -47,40 +69,77 @@ type hrabEntry struct {
 	consumed bool
 }
 
-// NewAnalysis wraps a finished graph.
+// NewAnalysis wraps a finished graph with the default (frozen) configuration.
 func NewAnalysis(g *depgraph.Graph) *Analysis {
-	return &Analysis{
-		G:    g,
-		hrac: make(map[*depgraph.Node]int64),
-		hrab: make(map[*depgraph.Node]hrabEntry),
-	}
+	return NewAnalysisWith(g, Config{})
 }
 
-// HRAC returns the heap-relative abstract cost of a node, cached.
+// NewAnalysisWith wraps a finished graph with an explicit configuration.
+func NewAnalysisWith(g *depgraph.Graph, cfg Config) *Analysis {
+	a := &Analysis{G: g, cfg: cfg}
+	if cfg.Legacy {
+		a.hrac = make(map[*depgraph.Node]int64)
+		a.hrab = make(map[*depgraph.Node]hrabEntry)
+	} else {
+		a.snap = g.Freeze()
+	}
+	return a
+}
+
+// ensureDP attaches the dense HRAC/HRAB/RAC/RAB arrays; safe for concurrent
+// callers, and cached on the snapshot across analyses.
+func (a *Analysis) ensureDP() {
+	a.dpOnce.Do(func() {
+		a.dp = dpFor(a.snap)
+	})
+}
+
+// HRAC returns the heap-relative abstract cost of a node.
 func (a *Analysis) HRAC(n *depgraph.Node) int64 {
-	if v, ok := a.hrac[n]; ok {
+	if a.cfg.Legacy {
+		if v, ok := a.hrac[n]; ok {
+			return v
+		}
+		v := depgraph.HRAC(n)
+		a.hrac[n] = v
 		return v
 	}
-	v := depgraph.HRAC(n)
-	a.hrac[n] = v
-	return v
+	a.ensureDP()
+	if id, ok := a.snap.ID(n); ok {
+		return a.dp.hrac[id]
+	}
+	return depgraph.HRAC(n) // node added after the snapshot was taken
 }
 
 // HRAB returns the heap-relative abstract benefit of a node and whether the
-// value reached a consumer, cached.
+// value reached a consumer.
 func (a *Analysis) HRAB(n *depgraph.Node) (int64, bool) {
-	if v, ok := a.hrab[n]; ok {
-		return v.sum, v.consumed
+	if a.cfg.Legacy {
+		if v, ok := a.hrab[n]; ok {
+			return v.sum, v.consumed
+		}
+		sum, consumed := depgraph.HRAB(n)
+		a.hrab[n] = hrabEntry{sum, consumed}
+		return sum, consumed
 	}
-	sum, consumed := depgraph.HRAB(n)
-	a.hrab[n] = hrabEntry{sum, consumed}
-	return sum, consumed
+	a.ensureDP()
+	if id, ok := a.snap.ID(n); ok {
+		return a.dp.hrab[id], a.dp.consumed[id]
+	}
+	return depgraph.HRAB(n)
 }
 
 // RAC returns the relative abstract cost of an abstract location: the mean
 // HRAC of the store nodes that write it (Definition 5). Locations never
 // written have RAC 0.
 func (a *Analysis) RAC(loc depgraph.Loc) float64 {
+	if !a.cfg.Legacy {
+		a.ensureDP()
+		if li, ok := a.snap.LocID(loc); ok {
+			return a.dp.rac[li]
+		}
+		return 0 // unknown location: never stored or loaded
+	}
 	var sum int64
 	n := 0
 	a.G.StoresOf(loc, func(s *depgraph.Node) {
@@ -98,6 +157,13 @@ func (a *Analysis) RAC(loc depgraph.Loc) float64 {
 // any read value reaches a predicate or native consumer; 0 if the location
 // is never read.
 func (a *Analysis) RAB(loc depgraph.Loc) float64 {
+	if !a.cfg.Legacy {
+		a.ensureDP()
+		if li, ok := a.snap.LocID(loc); ok {
+			return a.dp.rab[li]
+		}
+		return 0
+	}
 	var sum int64
 	n := 0
 	infinite := false
@@ -151,6 +217,13 @@ func (a *Analysis) ObjectTree(root *depgraph.Node, height int) *Tree {
 // RACs of every field of every object strictly inside the tree (depth < n,
 // so that the field's target — if any — is still within RT_n).
 func (a *Analysis) NRAC(root *depgraph.Node, height int) float64 {
+	if !a.cfg.Legacy {
+		a.ensureDP()
+		if id, ok := a.snap.ID(root); ok {
+			v, _ := aggregateFrozen(a.snap, a.dp, id, height, false)
+			return v
+		}
+	}
 	v, _ := a.aggregate(root, height, a.RAC)
 	return v
 }
@@ -166,6 +239,12 @@ func (a *Analysis) NRAB(root *depgraph.Node, height int) float64 {
 // NRABDetail is NRAB plus the consumed flag: true when at least one
 // aggregated field's values reach a predicate or native consumer.
 func (a *Analysis) NRABDetail(root *depgraph.Node, height int) (float64, bool) {
+	if !a.cfg.Legacy {
+		a.ensureDP()
+		if id, ok := a.snap.ID(root); ok {
+			return aggregateFrozen(a.snap, a.dp, id, height, true)
+		}
+	}
 	return a.aggregate(root, height, a.RAB)
 }
 
@@ -242,14 +321,24 @@ func (a *Analysis) RankStructures(height int) []*StructureReport {
 	if height <= 0 {
 		height = DefaultTreeHeight
 	}
-	var out []*StructureReport
+	var allocs []*depgraph.Node
 	a.G.Nodes(func(n *depgraph.Node) {
-		if n.Eff != depgraph.EffAlloc {
-			return
+		if n.Eff == depgraph.EffAlloc {
+			allocs = append(allocs, n)
 		}
+	})
+	workers := a.cfg.Workers
+	if a.cfg.Legacy {
+		workers = 1 // legacy memo maps are not goroutine-safe
+	} else {
+		a.ensureDP() // build the shared DP arrays before workers start
+	}
+	out := make([]*StructureReport, len(allocs))
+	par.ForEach(len(allocs), workers, func(i int) {
+		n := allocs[i]
 		cost := a.NRAC(n, height)
 		ben, consumed := a.NRABDetail(n, height)
-		out = append(out, &StructureReport{
+		out[i] = &StructureReport{
 			Alloc:     n,
 			Site:      n.In,
 			NRAC:      cost,
@@ -257,7 +346,7 @@ func (a *Analysis) RankStructures(height int) []*StructureReport {
 			Rate:      Rate(cost, ben),
 			Consumed:  consumed,
 			AllocFreq: n.Freq,
-		})
+		}
 	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Rate != out[j].Rate {

@@ -1,0 +1,131 @@
+package costben
+
+// Differential proof for the frozen DP path: on every workload, every
+// metric the analysis exposes — per-node HRAC/HRAB, per-location RAC/RAB,
+// per-structure NRAC/NRAB, and both rankings — must be bit-identical
+// between the legacy per-query traversal and the condensed DP sweep, and
+// the parallel ranking must be bit-identical to the serial one.
+
+import (
+	"testing"
+
+	"lowutil/internal/depgraph"
+	"lowutil/internal/interp"
+	"lowutil/internal/profiler"
+	"lowutil/internal/workloads"
+)
+
+func profileWorkload(t *testing.T, name string) *depgraph.Graph {
+	t.Helper()
+	w := workloads.ByName(name)
+	if w == nil {
+		t.Fatalf("unknown workload %s", name)
+	}
+	prog, err := w.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profiler.New(prog, profiler.Options{Slots: 16})
+	m := interp.New(prog)
+	m.Tracer = p
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return p.G
+}
+
+func sameReports(t *testing.T, kind string, frozen, legacy []*SiteReport) {
+	t.Helper()
+	if len(frozen) != len(legacy) {
+		t.Fatalf("%s: %d vs %d entries", kind, len(frozen), len(legacy))
+	}
+	for i := range frozen {
+		f, l := frozen[i], legacy[i]
+		if f.Site != l.Site || f.NRAC != l.NRAC || f.NRAB != l.NRAB ||
+			f.Rate != l.Rate || f.Consumed != l.Consumed || f.AllocFreq != l.AllocFreq {
+			t.Fatalf("%s entry %d differs:\n frozen %v\n legacy %v", kind, i, f, l)
+		}
+	}
+}
+
+func TestFrozenMatchesLegacyAllWorkloads(t *testing.T) {
+	names := make([]string, 0, len(workloads.All()))
+	for _, w := range workloads.All() {
+		names = append(names, w.Name)
+	}
+	if testing.Short() {
+		names = []string{"eclipse", "bloat", "xalan"}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g := profileWorkload(t, name)
+			frozen := NewAnalysis(g)
+			legacy := NewAnalysisWith(g, Config{Legacy: true})
+
+			// Per-node metrics over every node of the graph.
+			g.Nodes(func(n *depgraph.Node) {
+				if fc, lc := frozen.HRAC(n), legacy.HRAC(n); fc != lc {
+					t.Fatalf("HRAC(%v) = %d frozen, %d legacy", n, fc, lc)
+				}
+				fb, fcons := frozen.HRAB(n)
+				lb, lcons := legacy.HRAB(n)
+				if fb != lb || fcons != lcons {
+					t.Fatalf("HRAB(%v) = %d,%v frozen, %d,%v legacy", n, fb, fcons, lb, lcons)
+				}
+			})
+
+			// Per-location metrics.
+			g.Locs(func(loc depgraph.Loc) {
+				if fr, lr := frozen.RAC(loc), legacy.RAC(loc); fr != lr {
+					t.Fatalf("RAC(%v) = %v frozen, %v legacy", loc, fr, lr)
+				}
+				if fr, lr := frozen.RAB(loc), legacy.RAB(loc); fr != lr {
+					t.Fatalf("RAB(%v) = %v frozen, %v legacy", loc, fr, lr)
+				}
+			})
+
+			// Per-structure aggregates.
+			g.Nodes(func(n *depgraph.Node) {
+				if n.Eff != depgraph.EffAlloc {
+					return
+				}
+				if fc, lc := frozen.NRAC(n, DefaultTreeHeight), legacy.NRAC(n, DefaultTreeHeight); fc != lc {
+					t.Fatalf("NRAC(%v) = %v frozen, %v legacy", n, fc, lc)
+				}
+				fb, fcons := frozen.NRABDetail(n, DefaultTreeHeight)
+				lb, lcons := legacy.NRABDetail(n, DefaultTreeHeight)
+				if fb != lb || fcons != lcons {
+					t.Fatalf("NRAB(%v) = %v,%v frozen, %v,%v legacy", n, fb, fcons, lb, lcons)
+				}
+			})
+
+			// Full rankings.
+			fr := frozen.RankStructures(DefaultTreeHeight)
+			lr := legacy.RankStructures(DefaultTreeHeight)
+			if len(fr) != len(lr) {
+				t.Fatalf("RankStructures: %d vs %d entries", len(fr), len(lr))
+			}
+			for i := range fr {
+				f, l := fr[i], lr[i]
+				if f.Alloc != l.Alloc || f.NRAC != l.NRAC || f.NRAB != l.NRAB ||
+					f.Rate != l.Rate || f.Consumed != l.Consumed || f.AllocFreq != l.AllocFreq {
+					t.Fatalf("RankStructures entry %d differs:\n frozen %v\n legacy %v", i, f, l)
+				}
+			}
+			sameReports(t, "RankBySite", frozen.RankBySite(DefaultTreeHeight), legacy.RankBySite(DefaultTreeHeight))
+		})
+	}
+}
+
+func TestParallelRankingDeterministic(t *testing.T) {
+	g := profileWorkload(t, "eclipse")
+	serial := NewAnalysisWith(g, Config{Workers: 1})
+	parallel := NewAnalysisWith(g, Config{Workers: 8})
+	want := serial.RankBySite(DefaultTreeHeight)
+	// Re-rank several times: any map-order or scheduling nondeterminism in
+	// the parallel merge would flake here.
+	for round := 0; round < 5; round++ {
+		sameReports(t, "parallel RankBySite", parallel.RankBySite(DefaultTreeHeight), want)
+	}
+}

@@ -73,7 +73,74 @@ func pct(num, den int64) float64 {
 // Analyze computes the deadness result for g. totalInstances is the
 // machine's executed-instruction count (#I); pass 0 to use the graph's own
 // frequency mass as the denominator.
+//
+// The analysis runs over the frozen CSR snapshot: one condensation of the
+// def→use direction, then outcome propagation in component index order
+// (components come out in reverse topological order, so successors are
+// always resolved first). analyzeLegacy keeps the map-based path for the
+// differential test.
 func Analyze(g *depgraph.Graph, totalInstances int64) *Result {
+	s := g.Freeze()
+	c := s.Condense(true, nil)
+
+	outOf := make([]Outcome, c.NumComps)
+	for ci := 0; ci < c.NumComps; ci++ {
+		var out Outcome
+		hasExternalSucc := false
+		consumerOnly := true
+		for _, v := range c.Members(int32(ci)) {
+			if s.Consumer[v] {
+				if s.Predicate[v] {
+					out |= OutPredicate
+				} else {
+					out |= OutNative
+				}
+				continue // consumer out-edges do not propagate outcomes
+			}
+			consumerOnly = false
+			for _, t := range s.Use[s.UseStart[v]:s.UseStart[v+1]] {
+				tc := c.CompOf[t]
+				if int(tc) == ci {
+					continue // intra-component edge
+				}
+				hasExternalSucc = true
+				out |= outOf[tc]
+			}
+		}
+		if !consumerOnly && !hasExternalSucc && out == 0 {
+			// A use-free (or internally cyclic) non-consumer component: D.
+			out = OutDead
+		}
+		outOf[ci] = out
+	}
+
+	res := &Result{Out: make(map[*depgraph.Node]Outcome, s.NumNodes())}
+	for i, n := range s.Nodes {
+		res.Nodes++
+		out := outOf[c.CompOf[i]]
+		res.Out[n] = out
+		if s.Consumer[i] {
+			continue
+		}
+		res.Instances += s.Freq[i]
+		switch out {
+		case OutDead:
+			res.DeadFreq += s.Freq[i]
+			res.DeadNodes++
+		case OutPredicate:
+			res.PredFreq += s.Freq[i]
+		}
+	}
+	res.TotalInstances = totalInstances
+	if res.TotalInstances == 0 {
+		res.TotalInstances = res.Instances
+	}
+	return res
+}
+
+// analyzeLegacy is the original map-based propagation, retained to prove the
+// frozen path equivalent.
+func analyzeLegacy(g *depgraph.Graph, totalInstances int64) *Result {
 	comps, compOf := g.SCC()
 
 	// comps is in reverse topological order: every def→use edge goes from a

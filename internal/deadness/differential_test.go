@@ -1,0 +1,59 @@
+package deadness
+
+// Differential proof that the frozen-snapshot propagation matches the
+// original map-based SCC path on every workload: same per-node outcomes and
+// same aggregate IPD/IPP/NLD inputs.
+
+import (
+	"testing"
+
+	"lowutil/internal/interp"
+	"lowutil/internal/profiler"
+	"lowutil/internal/workloads"
+)
+
+func TestFrozenMatchesLegacyAllWorkloads(t *testing.T) {
+	names := make([]string, 0, len(workloads.All()))
+	for _, w := range workloads.All() {
+		names = append(names, w.Name)
+	}
+	if testing.Short() {
+		names = []string{"bloat", "eclipse", "xalan"}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := workloads.ByName(name)
+			prog, err := w.Compile(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := profiler.New(prog, profiler.Options{Slots: 16})
+			m := interp.New(prog)
+			m.Tracer = p
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			frozen := Analyze(p.G, m.Steps)
+			legacy := analyzeLegacy(p.G, m.Steps)
+
+			if frozen.Instances != legacy.Instances ||
+				frozen.TotalInstances != legacy.TotalInstances ||
+				frozen.DeadFreq != legacy.DeadFreq ||
+				frozen.PredFreq != legacy.PredFreq ||
+				frozen.DeadNodes != legacy.DeadNodes ||
+				frozen.Nodes != legacy.Nodes {
+				t.Fatalf("aggregates differ:\n frozen %+v\n legacy %+v", frozen, legacy)
+			}
+			if len(frozen.Out) != len(legacy.Out) {
+				t.Fatalf("Out: %d vs %d nodes", len(frozen.Out), len(legacy.Out))
+			}
+			for n, out := range legacy.Out {
+				if frozen.Out[n] != out {
+					t.Fatalf("outcome of %v: frozen %b, legacy %b", n, frozen.Out[n], out)
+				}
+			}
+		})
+	}
+}

@@ -120,12 +120,9 @@ func TestAbstractCostSharedSubgraphCountsOnce(t *testing.T) {
 }
 
 func TestAbstractCostCycleTerminates(t *testing.T) {
-	_, nodes := chainGraph(t, []int64{1, 1, 1})
+	g, nodes := chainGraph(t, []int64{1, 1, 1})
 	// close a cycle
-	g := New(mkProg(t, 1))
-	_ = g
-	nodes[0].deps = map[*Node]struct{}{nodes[2]: {}}
-	nodes[2].uses = map[*Node]struct{}{nodes[0]: {}}
+	g.AddDep(nodes[0], nodes[2])
 	if got := AbstractCost(nodes[2]); got != 3 {
 		t.Errorf("AbstractCost over cycle = %d, want 3", got)
 	}

@@ -1,0 +1,325 @@
+package depgraph
+
+// Freeze compacts a finished Gcost into an immutable compressed-sparse-row
+// (CSR) snapshot: dense int32 node IDs assigned in canonical (instruction,
+// context) order, flat adjacency arrays for dep/use/ref edges, parallel
+// arrays for frequency/effect/context, and CSR-indexed location tables
+// (stores, loads, fields-per-owner, points-to children). Analyses that
+// repeatedly walk the graph — the cost-benefit DP, deadness, ranking — run
+// over the snapshot instead of chasing per-node map entries.
+//
+// The snapshot is a pure read-model: it is valid as long as the graph is not
+// mutated through the Graph API (any such mutation invalidates the cached
+// snapshot, and the next Freeze rebuilds it). Mutating Node fields directly
+// — something only tests do — does not invalidate it; re-Freeze manually in
+// that case.
+
+import (
+	"sort"
+	"sync"
+)
+
+// Snapshot is the frozen CSR form of a Graph. All adjacency rows are sorted
+// by dense node ID, so every iteration over the snapshot is deterministic.
+type Snapshot struct {
+	G *Graph
+
+	// Nodes maps dense ID → node, sorted by (instruction ID, context slot).
+	Nodes []*Node
+
+	// Per-node parallel arrays, indexed by dense ID.
+	Freq      []int64
+	D         []int32
+	Eff       []EffectKind
+	Consumer  []bool
+	Predicate []bool
+
+	// Dep/Use/Ref adjacency in CSR form: the targets of node i are
+	// Dep[DepStart[i]:DepStart[i+1]] etc., each row sorted ascending.
+	DepStart []int32
+	Dep      []int32
+	UseStart []int32
+	Use      []int32
+	RefStart []int32
+	Ref      []int32
+
+	// Locs lists every abstract location ever loaded or stored, in locLess
+	// order (statics first). Store/Load hold the store/load node IDs of
+	// location j in Store[StoreStart[j]:StoreStart[j+1]] etc.
+	Locs       []Loc
+	StoreStart []int32
+	Store      []int32
+	LoadStart  []int32
+	Load       []int32
+
+	// OwnerField/OwnerLoc list, per owning allocation node, the fields ever
+	// accessed on its objects and the corresponding Locs indices.
+	OwnerFieldStart []int32
+	OwnerField      []int32
+	OwnerLoc        []int32
+
+	// ChildField/Child list, per owning allocation node, the points-to
+	// children pairs (field, child allocation node ID).
+	ChildStart []int32
+	ChildField []int32
+	Child      []int32
+
+	id    map[*Node]int32
+	locID map[Loc]int32
+
+	memoMu sync.Mutex
+	memo   map[any]any
+}
+
+// Memo returns the value cached under key, building it on first use. The
+// snapshot is immutable, so derived results (condensations, DP arrays,
+// per-location aggregates) are valid for its whole lifetime; clients key
+// them here instead of recomputing per analysis. build runs under the memo
+// lock and must not call Memo on the same snapshot.
+func (s *Snapshot) Memo(key any, build func() any) any {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	v := build()
+	if s.memo == nil {
+		s.memo = make(map[any]any)
+	}
+	s.memo[key] = v
+	return v
+}
+
+// Freeze returns the cached CSR snapshot of the graph, building it if the
+// graph changed since the last call.
+func (g *Graph) Freeze() *Snapshot {
+	if g.frozen != nil {
+		return g.frozen
+	}
+	n := len(g.nodes)
+	s := &Snapshot{G: g}
+
+	s.Nodes = make([]*Node, 0, n)
+	for _, nd := range g.nodes {
+		s.Nodes = append(s.Nodes, nd)
+	}
+	sort.Slice(s.Nodes, func(i, j int) bool { return nodeLess(s.Nodes[i], s.Nodes[j]) })
+	s.id = make(map[*Node]int32, n)
+	for i, nd := range s.Nodes {
+		s.id[nd] = int32(i)
+	}
+
+	s.Freq = make([]int64, n)
+	s.D = make([]int32, n)
+	s.Eff = make([]EffectKind, n)
+	s.Consumer = make([]bool, n)
+	s.Predicate = make([]bool, n)
+	for i, nd := range s.Nodes {
+		s.Freq[i] = nd.Freq
+		s.D[i] = int32(nd.D)
+		s.Eff[i] = nd.Eff
+		s.Consumer[i] = nd.IsConsumer()
+		s.Predicate[i] = nd.IsPredicate()
+	}
+
+	s.DepStart, s.Dep = s.buildAdj(func(nd *Node) *nodeSet { return &nd.deps })
+	s.UseStart, s.Use = s.buildAdj(func(nd *Node) *nodeSet { return &nd.uses })
+	s.RefStart, s.Ref = s.buildAdj(func(nd *Node) *nodeSet { return &nd.refs })
+	s.buildLocs()
+	s.buildChildren()
+
+	g.frozen = s
+	return s
+}
+
+// buildAdj flattens one edge family into CSR with sorted rows.
+func (s *Snapshot) buildAdj(setOf func(*Node) *nodeSet) (start, data []int32) {
+	n := len(s.Nodes)
+	start = make([]int32, n+1)
+	for i, nd := range s.Nodes {
+		start[i+1] = start[i] + int32(setOf(nd).len())
+	}
+	data = make([]int32, start[n])
+	cursor := make([]int32, n)
+	copy(cursor, start[:n])
+	for i, nd := range s.Nodes {
+		setOf(nd).each(func(t *Node) {
+			data[cursor[i]] = s.id[t]
+			cursor[i]++
+		})
+	}
+	for i := 0; i < n; i++ {
+		row := data[start[i]:start[i+1]]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+	}
+	return start, data
+}
+
+// buildLocs constructs the location table and the store/load and
+// fields-per-owner CSR indexes.
+func (s *Snapshot) buildLocs() {
+	g := s.G
+	seen := make(map[Loc]struct{}, len(g.locStores)+len(g.locLoads))
+	for loc := range g.locStores {
+		seen[loc] = struct{}{}
+	}
+	for loc := range g.locLoads {
+		seen[loc] = struct{}{}
+	}
+	s.Locs = make([]Loc, 0, len(seen))
+	for loc := range seen {
+		s.Locs = append(s.Locs, loc)
+	}
+	sort.Slice(s.Locs, func(i, j int) bool { return locLess(s.Locs[i], s.Locs[j]) })
+	s.locID = make(map[Loc]int32, len(s.Locs))
+	for i, loc := range s.Locs {
+		s.locID[loc] = int32(i)
+	}
+
+	s.StoreStart, s.Store = s.buildLocCSR(g.locStores)
+	s.LoadStart, s.Load = s.buildLocCSR(g.locLoads)
+
+	// Locs is sorted by owner, so each owner's fields form a contiguous run.
+	n := len(s.Nodes)
+	s.OwnerFieldStart = make([]int32, n+1)
+	for _, loc := range s.Locs {
+		if loc.Alloc != nil {
+			s.OwnerFieldStart[s.id[loc.Alloc]+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.OwnerFieldStart[i+1] += s.OwnerFieldStart[i]
+	}
+	s.OwnerField = make([]int32, s.OwnerFieldStart[n])
+	s.OwnerLoc = make([]int32, s.OwnerFieldStart[n])
+	cursor := make([]int32, n)
+	copy(cursor, s.OwnerFieldStart[:n])
+	for li, loc := range s.Locs {
+		if loc.Alloc == nil {
+			continue
+		}
+		oi := s.id[loc.Alloc]
+		s.OwnerField[cursor[oi]] = int32(loc.Field)
+		s.OwnerLoc[cursor[oi]] = int32(li)
+		cursor[oi]++
+	}
+}
+
+func (s *Snapshot) buildLocCSR(m map[Loc]map[*Node]struct{}) (start, data []int32) {
+	nl := len(s.Locs)
+	start = make([]int32, nl+1)
+	for li, loc := range s.Locs {
+		start[li+1] = start[li] + int32(len(m[loc]))
+	}
+	data = make([]int32, start[nl])
+	for li, loc := range s.Locs {
+		i := start[li]
+		for n := range m[loc] {
+			data[i] = s.id[n]
+			i++
+		}
+		row := data[start[li]:start[li+1]]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+	}
+	return start, data
+}
+
+// buildChildren constructs the per-owner points-to child CSR.
+func (s *Snapshot) buildChildren() {
+	g := s.G
+	type pair struct{ owner, field, child int32 }
+	var pairs []pair
+	for loc, set := range g.ptChildren {
+		if loc.Alloc == nil {
+			// Statics hold references too, but the reference tree of
+			// Definition 7 is rooted at allocation nodes; static-held
+			// children are not reachable through an owner scan, matching
+			// the map-based Children helper.
+			continue
+		}
+		oi := s.id[loc.Alloc]
+		for c := range set {
+			pairs = append(pairs, pair{oi, int32(loc.Field), s.id[c]})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].owner != pairs[j].owner {
+			return pairs[i].owner < pairs[j].owner
+		}
+		if pairs[i].field != pairs[j].field {
+			return pairs[i].field < pairs[j].field
+		}
+		return pairs[i].child < pairs[j].child
+	})
+	n := len(s.Nodes)
+	s.ChildStart = make([]int32, n+1)
+	s.ChildField = make([]int32, len(pairs))
+	s.Child = make([]int32, len(pairs))
+	for i, p := range pairs {
+		s.ChildStart[p.owner+1]++
+		s.ChildField[i] = p.field
+		s.Child[i] = p.child
+	}
+	for i := 0; i < n; i++ {
+		s.ChildStart[i+1] += s.ChildStart[i]
+	}
+}
+
+// NumNodes returns the node count.
+func (s *Snapshot) NumNodes() int { return len(s.Nodes) }
+
+// ID returns the dense ID of n and whether n belongs to the snapshot.
+func (s *Snapshot) ID(n *Node) (int32, bool) {
+	id, ok := s.id[n]
+	return id, ok
+}
+
+// LocID returns the dense index of loc in Locs and whether it exists.
+func (s *Snapshot) LocID(loc Loc) (int32, bool) {
+	id, ok := s.locID[loc]
+	return id, ok
+}
+
+// storesOf/loadsOf/fieldsOf/childrenOf back the Graph iteration helpers
+// when the graph is frozen; rows are pre-sorted so iteration is both
+// deterministic and allocation-free.
+
+func (s *Snapshot) storesOf(loc Loc, f func(*Node)) {
+	li, ok := s.locID[loc]
+	if !ok {
+		return
+	}
+	for _, id := range s.Store[s.StoreStart[li]:s.StoreStart[li+1]] {
+		f(s.Nodes[id])
+	}
+}
+
+func (s *Snapshot) loadsOf(loc Loc, f func(*Node)) {
+	li, ok := s.locID[loc]
+	if !ok {
+		return
+	}
+	for _, id := range s.Load[s.LoadStart[li]:s.LoadStart[li+1]] {
+		f(s.Nodes[id])
+	}
+}
+
+func (s *Snapshot) fieldsOf(owner *Node, f func(field int)) {
+	oi, ok := s.id[owner]
+	if !ok {
+		return
+	}
+	for _, field := range s.OwnerField[s.OwnerFieldStart[oi]:s.OwnerFieldStart[oi+1]] {
+		f(int(field))
+	}
+}
+
+func (s *Snapshot) childrenOf(owner *Node, f func(field int, child *Node)) {
+	oi, ok := s.id[owner]
+	if !ok {
+		return
+	}
+	for k := s.ChildStart[oi]; k < s.ChildStart[oi+1]; k++ {
+		f(int(s.ChildField[k]), s.Nodes[s.Child[k]])
+	}
+}

@@ -92,9 +92,9 @@ type Node struct {
 	Eff    EffectKind
 	EffLoc Loc
 
-	deps map[*Node]struct{} // this node uses values defined by these
-	uses map[*Node]struct{} // these nodes use values defined by this
-	refs map[*Node]struct{} // reference edges: store node → base alloc node
+	deps nodeSet // this node uses values defined by these
+	uses nodeSet // these nodes use values defined by this
+	refs nodeSet // reference edges: store node → base alloc node
 }
 
 // IsConsumer reports whether the node is a predicate or native consumer.
@@ -111,31 +111,19 @@ func (n *Node) ReadsHeap() bool { return n.Eff == EffLoad }
 func (n *Node) WritesHeap() bool { return n.Eff == EffStore }
 
 // NumDeps returns the backward (use→def) degree.
-func (n *Node) NumDeps() int { return len(n.deps) }
+func (n *Node) NumDeps() int { return n.deps.len() }
 
 // NumUses returns the forward (def→use) degree.
-func (n *Node) NumUses() int { return len(n.uses) }
+func (n *Node) NumUses() int { return n.uses.len() }
 
 // Deps calls f for every node this node depends on.
-func (n *Node) Deps(f func(*Node)) {
-	for d := range n.deps {
-		f(d)
-	}
-}
+func (n *Node) Deps(f func(*Node)) { n.deps.each(f) }
 
 // Uses calls f for every node that uses this node's values.
-func (n *Node) Uses(f func(*Node)) {
-	for u := range n.uses {
-		f(u)
-	}
-}
+func (n *Node) Uses(f func(*Node)) { n.uses.each(f) }
 
 // RefEdges calls f for every reference edge out of this (store) node.
-func (n *Node) RefEdges(f func(*Node)) {
-	for r := range n.refs {
-		f(r)
-	}
-}
+func (n *Node) RefEdges(f func(*Node)) { n.refs.each(f) }
 
 func (n *Node) String() string {
 	if n.D == NoContext {
@@ -170,6 +158,10 @@ type Graph struct {
 	// locsByOwner indexes locations by their owning allocation node so
 	// object-level aggregation does not scan every location.
 	locsByOwner map[*Node]map[int]struct{}
+
+	// frozen caches the CSR snapshot of the graph; any mutation through the
+	// Graph API invalidates it. See Freeze.
+	frozen *Snapshot
 }
 
 // New returns an empty graph over prog.
@@ -202,6 +194,7 @@ func (g *Graph) Node(in *ir.Instr, d int) *Node {
 	}
 	n := &Node{In: in, D: d}
 	g.nodes[k] = n
+	g.frozen = nil
 	return n
 }
 
@@ -214,6 +207,7 @@ func (g *Graph) Lookup(in *ir.Instr, d int) *Node {
 func (g *Graph) Touch(in *ir.Instr, d int) *Node {
 	n := g.Node(in, d)
 	n.Freq++
+	g.frozen = nil
 	return n
 }
 
@@ -224,18 +218,12 @@ func (g *Graph) AddDep(from, to *Node) {
 	if from == nil || to == nil {
 		return
 	}
-	if from.deps == nil {
-		from.deps = make(map[*Node]struct{}, 4)
-	}
-	if _, dup := from.deps[to]; dup {
+	if !from.deps.add(to) {
 		return
 	}
-	from.deps[to] = struct{}{}
-	if to.uses == nil {
-		to.uses = make(map[*Node]struct{}, 4)
-	}
-	to.uses[from] = struct{}{}
+	to.uses.add(from)
 	g.numDep++
+	g.frozen = nil
 }
 
 // AddRef records a reference edge from a field-store node to the allocation
@@ -244,26 +232,25 @@ func (g *Graph) AddRef(store, alloc *Node) {
 	if store == nil || alloc == nil {
 		return
 	}
-	if store.refs == nil {
-		store.refs = make(map[*Node]struct{}, 2)
-	}
-	if _, dup := store.refs[alloc]; dup {
+	if !store.refs.add(alloc) {
 		return
 	}
-	store.refs[alloc] = struct{}{}
 	g.numRef++
+	g.frozen = nil
 }
 
 // AddLocStore records that node n wrote abstract location loc.
 func (g *Graph) AddLocStore(loc Loc, n *Node) {
 	addToLocSet(g.locStores, loc, n)
 	g.indexLoc(loc)
+	g.frozen = nil
 }
 
 // AddLocLoad records that node n read abstract location loc.
 func (g *Graph) AddLocLoad(loc Loc, n *Node) {
 	addToLocSet(g.locLoads, loc, n)
 	g.indexLoc(loc)
+	g.frozen = nil
 }
 
 func addToLocSet(m map[Loc]map[*Node]struct{}, loc Loc, n *Node) {
@@ -287,39 +274,109 @@ func (g *Graph) indexLoc(loc Loc) {
 	fields[loc.Field] = struct{}{}
 }
 
-// StoresOf calls f for every store node recorded for loc.
+// nodeLess is the canonical node order: (instruction ID, context slot). The
+// frozen snapshot assigns dense IDs in this order, so sorted-by-ID and
+// sorted-by-nodeLess iterations agree.
+func nodeLess(a, b *Node) bool {
+	if a.In.ID != b.In.ID {
+		return a.In.ID < b.In.ID
+	}
+	return a.D < b.D
+}
+
+// sortedSetNodes flattens a node set into a slice sorted by nodeLess.
+func sortedSetNodes(set map[*Node]struct{}) []*Node {
+	out := make([]*Node, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return nodeLess(out[i], out[j]) })
+	return out
+}
+
+// locLess orders abstract locations: statics first (by field), then by the
+// owning allocation node (nodeLess) and field.
+func locLess(a, b Loc) bool {
+	switch {
+	case a.Alloc == nil && b.Alloc == nil:
+		return a.Field < b.Field
+	case a.Alloc == nil:
+		return true
+	case b.Alloc == nil:
+		return false
+	case a.Alloc != b.Alloc:
+		return nodeLess(a.Alloc, b.Alloc)
+	default:
+		return a.Field < b.Field
+	}
+}
+
+// StoresOf calls f for every store node recorded for loc, in canonical node
+// order.
 func (g *Graph) StoresOf(loc Loc, f func(*Node)) {
-	for n := range g.locStores[loc] {
+	if s := g.frozen; s != nil {
+		s.storesOf(loc, f)
+		return
+	}
+	for _, n := range sortedSetNodes(g.locStores[loc]) {
 		f(n)
 	}
 }
 
-// LoadsOf calls f for every load node recorded for loc.
+// LoadsOf calls f for every load node recorded for loc, in canonical node
+// order.
 func (g *Graph) LoadsOf(loc Loc, f func(*Node)) {
-	for n := range g.locLoads[loc] {
+	if s := g.frozen; s != nil {
+		s.loadsOf(loc, f)
+		return
+	}
+	for _, n := range sortedSetNodes(g.locLoads[loc]) {
 		f(n)
 	}
 }
 
 // FieldsOf calls f for every field (including ElemField) of objects
-// allocated at owner that was ever loaded or stored.
+// allocated at owner that was ever loaded or stored, in ascending field
+// order.
 func (g *Graph) FieldsOf(owner *Node, f func(field int)) {
-	for field := range g.locsByOwner[owner] {
+	if s := g.frozen; s != nil {
+		s.fieldsOf(owner, f)
+		return
+	}
+	set := g.locsByOwner[owner]
+	fields := make([]int, 0, len(set))
+	for field := range set {
+		fields = append(fields, field)
+	}
+	sort.Ints(fields)
+	for _, field := range fields {
 		f(field)
 	}
 }
 
-// Locs calls f for every abstract location that was ever loaded or stored.
+// Locs calls f for every abstract location that was ever loaded or stored,
+// in locLess order.
 func (g *Graph) Locs(f func(Loc)) {
+	if s := g.frozen; s != nil {
+		for _, loc := range s.Locs {
+			f(loc)
+		}
+		return
+	}
 	seen := make(map[Loc]struct{}, len(g.locStores)+len(g.locLoads))
+	locs := make([]Loc, 0, len(seen))
 	for loc := range g.locStores {
 		seen[loc] = struct{}{}
-		f(loc)
+		locs = append(locs, loc)
 	}
 	for loc := range g.locLoads {
 		if _, dup := seen[loc]; !dup {
-			f(loc)
+			locs = append(locs, loc)
 		}
+	}
+	sort.Slice(locs, func(i, j int) bool { return locLess(locs[i], locs[j]) })
+	for _, loc := range locs {
+		f(loc)
 	}
 }
 
@@ -335,18 +392,37 @@ func (g *Graph) AddChild(loc Loc, child *Node) {
 		g.ptChildren[loc] = set
 	}
 	set[child] = struct{}{}
+	g.frozen = nil
 }
 
 // Children calls f for every (field, child allocation node) pair recorded
-// for objects allocated at owner.
+// for objects allocated at owner, ordered by (field, child).
 func (g *Graph) Children(owner *Node, f func(field int, child *Node)) {
+	if s := g.frozen; s != nil {
+		s.childrenOf(owner, f)
+		return
+	}
+	type pair struct {
+		field int
+		child *Node
+	}
+	var pairs []pair
 	for loc, set := range g.ptChildren {
 		if loc.Alloc != owner {
 			continue
 		}
 		for c := range set {
-			f(loc.Field, c)
+			pairs = append(pairs, pair{loc.Field, c})
 		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].field != pairs[j].field {
+			return pairs[i].field < pairs[j].field
+		}
+		return nodeLess(pairs[i].child, pairs[j].child)
+	})
+	for _, p := range pairs {
+		f(p.field, p.child)
 	}
 }
 
@@ -354,6 +430,12 @@ func (g *Graph) Children(owner *Node, f func(field int, child *Node)) {
 // context slot). Deterministic order matters: callers fold node metrics into
 // floating-point sums, and float addition is not associative.
 func (g *Graph) Nodes(f func(*Node)) {
+	if s := g.frozen; s != nil {
+		for _, n := range s.Nodes {
+			f(n)
+		}
+		return
+	}
 	keys := make([]nodeKey, 0, len(g.nodes))
 	for k := range g.nodes {
 		keys = append(keys, k)

@@ -1,0 +1,65 @@
+package depgraph
+
+// nodeSet is the edge-set representation behind Node.deps/uses/refs. Most
+// nodes have a handful of edges, so the set starts as a small slice with
+// linear-scan dedup and spills to a map only past setSpillThreshold. This
+// keeps the profiler hot path (AddDep on every traced instruction) free of
+// map allocation for the common case.
+type nodeSet struct {
+	small []*Node
+	spill map[*Node]struct{}
+}
+
+// setSpillThreshold is the slice length past which a nodeSet converts to a
+// map. Linear scans up to this length are cheaper than map probes.
+const setSpillThreshold = 8
+
+// add inserts n and reports whether it was not already present.
+func (s *nodeSet) add(n *Node) bool {
+	if s.spill != nil {
+		if _, dup := s.spill[n]; dup {
+			return false
+		}
+		s.spill[n] = struct{}{}
+		return true
+	}
+	for _, m := range s.small {
+		if m == n {
+			return false
+		}
+	}
+	if len(s.small) < setSpillThreshold {
+		s.small = append(s.small, n)
+		return true
+	}
+	s.spill = make(map[*Node]struct{}, 2*setSpillThreshold)
+	for _, m := range s.small {
+		s.spill[m] = struct{}{}
+	}
+	s.small = nil
+	s.spill[n] = struct{}{}
+	return true
+}
+
+// len returns the set size.
+func (s *nodeSet) len() int {
+	if s.spill != nil {
+		return len(s.spill)
+	}
+	return len(s.small)
+}
+
+// each calls f for every member. Iteration order is the insertion order
+// while small and map order after spilling; callers that need determinism
+// go through the frozen CSR snapshot instead.
+func (s *nodeSet) each(f func(*Node)) {
+	if s.spill != nil {
+		for n := range s.spill {
+			f(n)
+		}
+		return
+	}
+	for _, n := range s.small {
+		f(n)
+	}
+}

@@ -24,10 +24,10 @@ func (g *Graph) SCC() (comps [][]*Node, compOf map[*Node]int) {
 	}
 
 	succsOf := func(n *Node) []*Node {
-		out := make([]*Node, 0, len(n.uses))
-		for u := range n.uses {
+		out := make([]*Node, 0, n.uses.len())
+		n.uses.each(func(u *Node) {
 			out = append(out, u)
-		}
+		})
 		return out
 	}
 

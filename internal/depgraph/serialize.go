@@ -91,12 +91,12 @@ func (g *Graph) Encode(w io.Writer) error {
 			EffAlloc: nodeIdx(n.EffLoc.Alloc),
 			EffField: n.EffLoc.Field,
 		})
-		for d := range n.deps {
+		n.deps.each(func(d *Node) {
 			sg.DepEdges = append(sg.DepEdges, [2]int{idx[n], idx[d]})
-		}
-		for r := range n.refs {
+		})
+		n.refs.each(func(r *Node) {
 			sg.RefEdges = append(sg.RefEdges, [2]int{idx[n], idx[r]})
-		}
+		})
 	}
 	sortPairs := func(ps [][2]int) {
 		sort.Slice(ps, func(i, j int) bool {

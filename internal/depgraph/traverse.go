@@ -18,12 +18,12 @@ func BackwardSlice(seed *Node) map[*Node]struct{} {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for d := range n.deps {
+		n.deps.each(func(d *Node) {
 			if _, ok := visited[d]; !ok {
 				visited[d] = struct{}{}
 				stack = append(stack, d)
 			}
-		}
+		})
 	}
 	return visited
 }
@@ -36,12 +36,12 @@ func ForwardSlice(seed *Node) map[*Node]struct{} {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for u := range n.uses {
+		n.uses.each(func(u *Node) {
 			if _, ok := visited[u]; !ok {
 				visited[u] = struct{}{}
 				stack = append(stack, u)
 			}
-		}
+		})
 	}
 	return visited
 }
@@ -67,17 +67,17 @@ func HRAC(n *Node) int64 {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for d := range cur.deps {
+		cur.deps.each(func(d *Node) {
 			if _, ok := visited[d]; ok {
-				continue
+				return
 			}
 			visited[d] = struct{}{}
 			if d.ReadsHeap() {
-				continue // hop boundary: uncounted, untraversed
+				return // hop boundary: uncounted, untraversed
 			}
 			sum += d.Freq
 			stack = append(stack, d)
-		}
+		})
 	}
 	return sum
 }
@@ -94,22 +94,22 @@ func HRAB(n *Node) (sum int64, consumed bool) {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for u := range cur.uses {
+		cur.uses.each(func(u *Node) {
 			if _, ok := visited[u]; ok {
-				continue
+				return
 			}
 			visited[u] = struct{}{}
 			if u.IsConsumer() {
 				consumed = true
 				sum += u.Freq
-				continue // consumers are sinks
+				return // consumers are sinks
 			}
 			if u.WritesHeap() {
-				continue // hop boundary: uncounted, untraversed
+				return // hop boundary: uncounted, untraversed
 			}
 			sum += u.Freq
 			stack = append(stack, u)
-		}
+		})
 	}
 	return sum, consumed
 }

@@ -7,7 +7,9 @@ import (
 )
 
 func TestTable1SmallSubset(t *testing.T) {
-	rows, err := Table1(Options{Scale: 1, Slots: []int{8, 16}, Only: []string{"chart", "fop", "bloat"}})
+	// Workers: 1 — the overhead assertions below compare wall clocks, which
+	// a concurrent sweep would perturb.
+	rows, err := Table1(Options{Scale: 1, Slots: []int{8, 16}, Only: []string{"chart", "fop", "bloat"}, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,6 +60,36 @@ func TestTable1SmallSubset(t *testing.T) {
 	for _, frag := range []string{"s = 8", "s = 16", "part (c)", "chart", "IPD"} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("formatted table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable1ParallelKeepsOrderAndResults(t *testing.T) {
+	only := []string{"chart", "fop", "bloat"}
+	serial, err := Table1(Options{Scale: 1, Slots: []int{8}, Only: only, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table1(Options{Scale: 1, Slots: []int{8}, Only: only, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("rows: %d vs %d", len(parallel), len(serial))
+	}
+	for i, p := range parallel {
+		s := serial[i]
+		// Wall clocks differ under contention; everything else must match.
+		if p.Name != s.Name || p.Steps != s.Steps || p.Allocs != s.Allocs ||
+			p.IPD != s.IPD || p.IPP != s.IPP || p.NLD != s.NLD {
+			t.Fatalf("row %d differs: parallel %+v serial %+v", i, p, s)
+		}
+		for k := range p.BySlots {
+			ps, ss := p.BySlots[k], s.BySlots[k]
+			if ps.Nodes != ss.Nodes || ps.DepEdges != ss.DepEdges ||
+				ps.RefEdges != ss.RefEdges || ps.CR != ss.CR {
+				t.Fatalf("%s s=%d differs: parallel %+v serial %+v", p.Name, ps.S, ps, ss)
+			}
 		}
 	}
 }

@@ -1,0 +1,48 @@
+// Package par provides the bounded worker pool used by the analysis
+// pipeline. Callers parallelize an index space and keep determinism by
+// writing only to their own slot, then merging in index order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) for every i in [0, n), spread over the given number
+// of workers. workers <= 0 selects GOMAXPROCS; the pool is clamped to n.
+// With one worker the calls run inline on the caller's goroutine, in order.
+// ForEach returns after every call has finished.
+func ForEach(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

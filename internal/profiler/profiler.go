@@ -104,6 +104,12 @@ type Profiler struct {
 	// context bookkeeping continues while disabled.
 	enabled bool
 
+	// fsPool recycles frameShadow records: a frame's shadow dies with the
+	// frame at BeforeReturn (the machine never revisits a popped frame), so
+	// EnterMethod can reuse it instead of allocating per call. Frames
+	// abandoned on error simply aren't recycled.
+	fsPool []*frameShadow
+
 	// instCount counts instances per instruction in Unabstracted mode.
 	instCount []int
 }
@@ -412,10 +418,32 @@ func (p *Profiler) BeforeCall(in *ir.Instr, caller *interp.Frame, callee *ir.Met
 	p.havePending = true
 }
 
+// newFrameShadow returns a cleared shadow with room for n locals, reusing a
+// pooled record when one fits.
+func (p *Profiler) newFrameShadow(n int) *frameShadow {
+	if len(p.fsPool) > 0 {
+		fs := p.fsPool[len(p.fsPool)-1]
+		p.fsPool = p.fsPool[:len(p.fsPool)-1]
+		if cap(fs.nodes) < n {
+			fs.nodes = make([]*depgraph.Node, n)
+		} else {
+			fs.nodes = fs.nodes[:n]
+			for i := range fs.nodes {
+				fs.nodes[i] = nil
+			}
+		}
+		fs.ctx = contextenc.EmptyContext
+		fs.slot = 0
+		fs.lastPred = nil
+		return fs
+	}
+	return &frameShadow{nodes: make([]*depgraph.Node, n)}
+}
+
 // EnterMethod implements interp.Tracer: formals receive the actuals'
 // tracking data and the frame adopts the pushed context.
 func (p *Profiler) EnterMethod(fr *interp.Frame, recv *interp.Object) {
-	fs := &frameShadow{nodes: make([]*depgraph.Node, fr.Method.NumLocals)}
+	fs := p.newFrameShadow(fr.Method.NumLocals)
 	if p.havePending {
 		copy(fs.nodes, p.pendingArgs)
 		fs.ctx = p.pendingCtx
@@ -435,6 +463,13 @@ func (p *Profiler) BeforeReturn(in *ir.Instr, fr *interp.Frame) {
 		p.pendingRet = p.fshadow(fr).nodes[in.A]
 	} else {
 		p.pendingRet = nil
+	}
+	// The frame pops right after this hook; reclaim its shadow. fr.Shadow
+	// stays attached because wrapping tracers (e.g. MethodCostTracker) peek
+	// at it synchronously after delegating here — the record is only reused
+	// at the next EnterMethod, by which point the pop has fully completed.
+	if fs, ok := fr.Shadow.(*frameShadow); ok {
+		p.fsPool = append(p.fsPool, fs)
 	}
 }
 

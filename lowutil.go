@@ -153,6 +153,12 @@ type ProfileOptions struct {
 	// ignored when Traditional is set. Rankings are unchanged; the trace
 	// just gets cheaper.
 	StaticPrune bool
+	// LegacyAnalysis selects the per-query traversal path of the
+	// cost-benefit analysis instead of the frozen-snapshot DP. The results
+	// are identical; this exists for comparison and as an escape hatch.
+	LegacyAnalysis bool
+	// AnalysisWorkers bounds the ranking worker pool (0 = all CPUs).
+	AnalysisWorkers int
 }
 
 // Profile runs the program under the cost-benefit profiler.
@@ -180,7 +186,7 @@ func (p *Program) Profile(opts ProfileOptions) (*Profile, error) {
 		prof:   prof,
 		steps:  m.Steps,
 		pruned: m.PrunedEvents,
-		an:     costben.NewAnalysis(prof.G),
+		an:     costben.NewAnalysisWith(prof.G, costben.Config{Legacy: opts.LegacyAnalysis, Workers: opts.AnalysisWorkers}),
 		height: height,
 	}, nil
 }

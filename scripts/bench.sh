@@ -1,0 +1,39 @@
+#!/bin/sh
+# Runs the key analysis benchmarks and writes BENCH_2.json (one object per
+# benchmark: ns/op, B/op, allocs/op) so the perf trajectory is tracked
+# across PRs. Override the selection or duration with:
+#
+#   BENCH='BenchmarkCostBenefitAnalysis' BENCHTIME=2s sh scripts/bench.sh
+set -e
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-BenchmarkCostBenefitAnalysis|BenchmarkDeadness|BenchmarkOverhead|BenchmarkInterpreterRaw}"
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_2.json}"
+
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . \
+    | tee /dev/stderr \
+    | awk '
+        /^Benchmark/ {
+            name = $1
+            ns = ""; bytes = ""; allocs = ""
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op")     ns = $i
+                if ($(i+1) == "B/op")      bytes = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            if (ns == "") next
+            line = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+            if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+            if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+            line = line "}"
+            lines[n++] = line
+        }
+        END {
+            print "["
+            for (i = 0; i < n; i++) print lines[i] (i < n-1 ? "," : "")
+            print "]"
+        }
+    ' > "$OUT"
+
+echo "bench: wrote $OUT" >&2

@@ -14,4 +14,7 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+# The analysis pipeline is parallel; -short keeps the race pass fast by
+# trimming the all-workload differential sweeps to a subset.
+go test -race -short ./...
 echo "check: OK"
