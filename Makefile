@@ -1,4 +1,4 @@
-.PHONY: check build test bench
+.PHONY: check build test bench lint
 
 check:
 	sh scripts/check.sh
@@ -11,3 +11,10 @@ test:
 
 bench:
 	sh scripts/bench.sh
+
+# Full static lint: the vet suite over all 18 workloads, compared against
+# the golden files in internal/staticanalysis/testdata/vet/. Regenerate the
+# goldens after an intended diagnostics change with:
+#   go test ./internal/staticanalysis -run TestVetGoldenWorkloads -update
+lint:
+	go test ./internal/staticanalysis -run TestVetGoldenWorkloads -count=1

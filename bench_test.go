@@ -21,9 +21,11 @@ import (
 	"lowutil/internal/costben"
 	"lowutil/internal/deadness"
 	"lowutil/internal/interp"
+	"lowutil/internal/interproc"
 	"lowutil/internal/ir"
 	"lowutil/internal/mjc"
 	"lowutil/internal/profiler"
+	"lowutil/internal/staticanalysis"
 	"lowutil/internal/taint"
 	"lowutil/internal/testprogs"
 	"lowutil/internal/workloads"
@@ -284,4 +286,68 @@ func BenchmarkInterpreterRaw(b *testing.B) {
 		steps += m.Steps
 	}
 	b.ReportMetric(float64(steps)/float64(b.Elapsed().Seconds())/1e6, "Minstr/s")
+}
+
+// ---- interprocedural static analysis costs (no execution) ----
+
+func BenchmarkPointsTo(b *testing.B) {
+	prog := mustCompileWorkload(b, "eclipse")
+	for _, cfg := range []struct {
+		name string
+		c    interproc.Config
+	}{
+		{"rta", interproc.Config{Mode: interproc.RTA}},
+		{"rta_objctx", interproc.Config{Mode: interproc.RTA, ObjCtx: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var pt *interproc.PointsTo
+			for i := 0; i < b.N; i++ {
+				cg := interproc.NewCallGraph(prog, cfg.c.Mode)
+				pt = interproc.NewPointsTo(prog, cg, cfg.c)
+			}
+			b.ReportMetric(float64(pt.NumObjects()), "objects")
+			b.ReportMetric(pt.AvgPTSize(), "avg_pt")
+		})
+	}
+}
+
+func BenchmarkStaticSlice(b *testing.B) {
+	prog := mustCompileWorkload(b, "eclipse")
+	for _, cfg := range []struct {
+		name string
+		c    interproc.Config
+	}{
+		{"cha", interproc.Config{Mode: interproc.CHA}},
+		{"rta_objctx", interproc.Config{Mode: interproc.RTA, ObjCtx: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var an *interproc.Analysis
+			for i := 0; i < b.N; i++ {
+				an = interproc.Analyze(prog, cfg.c)
+			}
+			b.ReportMetric(float64(an.Slice.NumDeps()), "dep_edges")
+			b.ReportMetric(float64(an.Slice.NumLocs()), "locs")
+		})
+	}
+}
+
+func BenchmarkInterprocPrune(b *testing.B) {
+	prog := mustCompileWorkload(b, "eclipse")
+	b.Run("intraproc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, st := staticanalysis.PruneSet(prog); st.Candidates == 0 {
+				b.Fatal("no candidates")
+			}
+		}
+	})
+	b.Run("interproc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			an := interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA})
+			if _, st := staticanalysis.PruneSetWith(prog, an.Sum); st.Candidates == 0 {
+				b.Fatal("no candidates")
+			}
+		}
+	})
 }

@@ -6,6 +6,7 @@
 //	lowutil run        prog.mj          execute and print the program output
 //	lowutil disasm     prog.mj          print the three-address code
 //	lowutil vet        prog.mj          static diagnostics, no execution
+//	lowutil slice      [flags] prog.mj  interprocedural static thin slice
 //	lowutil profile    [flags] prog.mj  rank low-utility data structures
 //	lowutil nullcheck  prog.mj          diagnose a NullPointerException
 //	lowutil copies     [flags] prog.mj  extended copy profiling
@@ -15,6 +16,13 @@
 // Flags (profile): -s context slots (default 16), -top findings (default
 // 10), -n reference-tree height (default 4), -traditional for the
 // traditional-slicing ablation, -prune to statically prune instrumentation.
+//
+// Flags (slice): -mode cha|rta call-graph construction (default rta),
+// -objctx for one level of receiver-object context in the points-to heap
+// abstraction, -top candidates (default 10). slice never runs the program:
+// it reports the static over-approximation of Gcost — every dependence any
+// run could produce is contained in it — with per-location cost/benefit
+// bounds and the statically write-only stored locations.
 //
 // vet reports, without running the program: dead stores, write-only fields,
 // unused allocations, unreachable code, and possibly-uninitialized reads.
@@ -44,6 +52,8 @@ func main() {
 		err = cmdDisasm(args)
 	case "vet":
 		err = cmdVet(args)
+	case "slice":
+		err = cmdSlice(args)
 	case "profile":
 		err = cmdProfile(args)
 	case "nullcheck":
@@ -71,7 +81,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lowutil <command> [flags] <file.mj>
-commands: run, disasm, vet, profile, nullcheck, copies, predicates, overwrites, caches`)
+commands: run, disasm, vet, slice, profile, nullcheck, copies, predicates, overwrites, caches`)
 }
 
 func compileFile(path string) (*lowutil.Program, error) {
@@ -146,6 +156,27 @@ func cmdVet(args []string) error {
 		fmt.Println(f.Message)
 	}
 	return fmt.Errorf("%d finding(s)", len(findings))
+}
+
+func cmdSlice(args []string) error {
+	fs := flag.NewFlagSet("slice", flag.ContinueOnError)
+	mode := fs.String("mode", "rta", "call-graph construction: cha or rta")
+	objctx := fs.Bool("objctx", false, "qualify allocation sites by one level of receiver-object context")
+	top := fs.Int("top", 10, "candidate locations to print")
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := prog.StaticSlice(lowutil.SliceOptions{Mode: *mode, ObjCtx: *objctx, Top: *top})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	return nil
 }
 
 func cmdProfile(args []string) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -60,6 +61,45 @@ func TestCmdClients(t *testing.T) {
 	}
 	if err := cmdOverwrites([]string{"-min", "5", chartMJ}); err != nil {
 		t.Fatalf("overwrites: %v", err)
+	}
+}
+
+// TestCmdSlice drives the slice subcommand under both modes and pins
+// byte-stability of the printed report by capturing stdout twice.
+func TestCmdSlice(t *testing.T) {
+	capture := func(args []string) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		cmdErr := cmdSlice(args)
+		w.Close()
+		os.Stdout = old
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmdErr != nil {
+			t.Fatalf("slice %v: %v", args, cmdErr)
+		}
+		return string(out)
+	}
+	rta := capture([]string{chartMJ})
+	if !strings.Contains(rta, "static slice (mode=rta, objctx=off)") {
+		t.Errorf("rta header missing:\n%s", rta)
+	}
+	if rta != capture([]string{chartMJ}) {
+		t.Error("slice output is not byte-stable")
+	}
+	cha := capture([]string{"-mode", "cha", "-objctx", "-top", "3", chartMJ})
+	if !strings.Contains(cha, "static slice (mode=cha, objctx=on)") {
+		t.Errorf("cha header missing:\n%s", cha)
+	}
+	if err := cmdSlice([]string{"-mode", "bogus", chartMJ}); err == nil {
+		t.Error("want unknown-mode error")
 	}
 }
 

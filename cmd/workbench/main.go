@@ -6,6 +6,7 @@
 //	workbench -list
 //	workbench -run chart -scale 4
 //	workbench -profile eclipse -scale 2 -s 16 -top 10
+//	workbench -slice eclipse -mode rta -objctx -top 10
 //	workbench -dump bloat > bloat.mj
 package main
 
@@ -22,10 +23,13 @@ func main() {
 	list := flag.Bool("list", false, "list workloads and their bloat profiles")
 	run := flag.String("run", "", "execute the named workload")
 	profileName := flag.String("profile", "", "profile the named workload and print the report")
+	sliceName := flag.String("slice", "", "print the named workload's static thin-slice report (no execution)")
 	dump := flag.String("dump", "", "print the named workload's MJ source")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	slots := flag.Int("s", 16, "context slots")
 	top := flag.Int("top", 10, "findings to print")
+	mode := flag.String("mode", "rta", "slice call-graph construction: cha or rta")
+	objctx := flag.Bool("objctx", false, "slice with one level of receiver-object context")
 	flag.Parse()
 
 	switch {
@@ -54,6 +58,13 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Print(profile.Report(*top))
+	case *sliceName != "":
+		prog := compile(*sliceName, *scale)
+		rep, err := prog.StaticSlice(lowutil.SliceOptions{Mode: *mode, ObjCtx: *objctx, Top: *top})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(rep)
 	default:
 		flag.Usage()
 		os.Exit(2)

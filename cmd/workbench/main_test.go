@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"lowutil"
+)
 
 func TestCompileAllWorkloadsViaWorkbench(t *testing.T) {
 	for _, name := range []string{"chart", "bloat", "tradesoap"} {
@@ -11,6 +16,24 @@ func TestCompileAllWorkloadsViaWorkbench(t *testing.T) {
 		}
 		if len(res.Output) == 0 {
 			t.Errorf("%s: no output", name)
+		}
+	}
+}
+
+// TestWorkbenchSlicePanel: the -slice path compiles a workload and renders
+// the static report through the facade without executing the program.
+func TestWorkbenchSlicePanel(t *testing.T) {
+	prog := compile("chart", 1)
+	for _, opts := range []lowutil.SliceOptions{
+		{},
+		{Mode: "cha", ObjCtx: true, Top: 5},
+	} {
+		rep, err := prog.StaticSlice(opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !strings.Contains(rep, "static slice (mode=") {
+			t.Errorf("%+v: malformed report:\n%s", opts, rep)
 		}
 	}
 }

@@ -1,0 +1,137 @@
+package interproc
+
+import (
+	"testing"
+
+	"lowutil/internal/ir"
+	"lowutil/internal/workloads"
+)
+
+// hierProgram builds:
+//
+//	class A       { int get()  { return 1; } }
+//	class B : A   { int get()  { return 2; } }
+//	class C : A   { int get()  { return 3; } }
+//	Main.main     { A r = new B(); print(r.get()); }
+//
+// C is never instantiated: CHA must keep C.get as a target, RTA must drop it.
+func hierProgram(t *testing.T) (*ir.Program, map[string]*ir.Method) {
+	t.Helper()
+	b := ir.NewBuilder()
+	a := b.Class("A", nil)
+	bb := b.Class("B", a)
+	cc := b.Class("C", a)
+	main := b.Class("Main", nil)
+
+	mk := func(c *ir.Class, v int64) *ir.Method {
+		m := b.Method(c, "get", false, 1, ir.IntType)
+		body := b.Body(m)
+		body.Const(1, v)
+		body.Return(1)
+		return m
+	}
+	aget := mk(a, 1)
+	bget := mk(bb, 2)
+	cget := mk(cc, 3)
+
+	mm := b.Method(main, "main", true, 0, nil)
+	body := b.Body(mm)
+	body.New(0, bb)
+	body.Call(1, aget, 0)
+	body.Native(-1, ir.NativePrint, 1)
+	body.ReturnVoid()
+
+	prog, err := b.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, map[string]*ir.Method{
+		"A.get": aget, "B.get": bget, "C.get": cget, "main": mm,
+	}
+}
+
+func callSite(t *testing.T, m *ir.Method) *ir.Instr {
+	t.Helper()
+	for pc := range m.Code {
+		if m.Code[pc].Op == ir.OpCall {
+			return &m.Code[pc]
+		}
+	}
+	t.Fatal("no call site")
+	return nil
+}
+
+func TestCallGraphCHAvsRTA(t *testing.T) {
+	prog, ms := hierProgram(t)
+	site := callSite(t, ms["main"])
+
+	cha := NewCallGraph(prog, CHA)
+	rta := NewCallGraph(prog, RTA)
+
+	names := func(ts []*ir.Method) []string {
+		var out []string
+		for _, m := range ts {
+			out = append(out, m.QualifiedName())
+		}
+		return out
+	}
+	chaT := names(cha.Targets(site))
+	rtaT := names(rta.Targets(site))
+	if len(chaT) != 3 {
+		t.Errorf("CHA targets = %v, want all three overrides", chaT)
+	}
+	if len(rtaT) != 1 || rtaT[0] != "B.get" {
+		t.Errorf("RTA targets = %v, want only B.get", rtaT)
+	}
+	if !cha.Reachable(ms["C.get"]) {
+		t.Error("CHA must reach C.get")
+	}
+	if rta.Reachable(ms["C.get"]) {
+		t.Error("RTA must not reach C.get: C is never instantiated")
+	}
+	if !rta.Reachable(ms["B.get"]) || !rta.Reachable(ms["main"]) {
+		t.Error("RTA must reach main and B.get")
+	}
+	if got := rta.CallersOf(ms["B.get"]); len(got) != 1 || got[0] != site {
+		t.Errorf("CallersOf(B.get) = %v", got)
+	}
+}
+
+// TestCallGraphRTASubsetOfCHA: on every workload, RTA's reachable set and
+// per-site targets must be contained in CHA's.
+func TestCallGraphRTASubsetOfCHA(t *testing.T) {
+	for _, w := range workloads.All() {
+		prog, err := w.Compile(1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		cha := NewCallGraph(prog, CHA)
+		rta := NewCallGraph(prog, RTA)
+		for _, m := range rta.Methods() {
+			if !cha.Reachable(m) {
+				t.Errorf("%s: %s RTA-reachable but not CHA-reachable", w.Name, m.QualifiedName())
+			}
+		}
+		for _, m := range rta.Methods() {
+			for pc := range m.Code {
+				in := &m.Code[pc]
+				if in.Op != ir.OpCall {
+					continue
+				}
+				chaSet := make(map[*ir.Method]bool)
+				for _, t := range cha.Targets(in) {
+					chaSet[t] = true
+				}
+				for _, tm := range rta.Targets(in) {
+					if !chaSet[tm] {
+						t.Errorf("%s: RTA target %s at %s:%d not in CHA set",
+							w.Name, tm.QualifiedName(), m.QualifiedName(), pc)
+					}
+				}
+			}
+		}
+		if rta.NumEdges() > cha.NumEdges() {
+			t.Errorf("%s: RTA edges %d > CHA edges %d", w.Name, rta.NumEdges(), cha.NumEdges())
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package interproc
+
+import (
+	"math/bits"
+
+	"lowutil/internal/ir"
+)
+
+// methodFlow is the per-method local dataflow the interprocedural analyses
+// share: reaching definitions over the CFG, exposed as, for every instruction
+// operand, the set of definitions that may have produced the value read.
+// Definitions are instruction pcs; each parameter contributes a pseudo-
+// definition numbered len(m.Code)+slot, exactly as in
+// staticanalysis.ReachingDefs (re-derived here so interproc depends only on
+// the IR).
+type methodFlow struct {
+	m   *ir.Method
+	cfg *ir.CFG
+
+	// operands[pc] lists, in Instr.Uses callback order, the reads performed
+	// by the instruction with their reaching definitions.
+	operands [][]operand
+}
+
+// operand is one read performed by an instruction.
+type operand struct {
+	Slot int
+	// Base marks a base-pointer read, which thin slicing excludes from value
+	// flow.
+	Base bool
+	// Defs holds the reaching definitions (pcs, or len(code)+slot pseudo-defs
+	// for parameters), ascending.
+	Defs []int
+}
+
+// isParamDef reports whether def index d of m is a parameter pseudo-def.
+func isParamDef(m *ir.Method, d int) bool { return d >= len(m.Code) }
+
+// paramOfDef returns the parameter slot of a pseudo-def.
+func paramOfDef(m *ir.Method, d int) int { return d - len(m.Code) }
+
+// newMethodFlow computes reaching definitions for m with a dense bitset
+// worklist over the CFG and materializes the per-operand def sets.
+func newMethodFlow(m *ir.Method) *methodFlow {
+	cfg := ir.NewCFG(m)
+	n := len(m.Code)
+	ndefs := n + m.Params
+	words := (ndefs + 63) / 64
+
+	defsOfSlot := make([][]uint64, m.NumLocals)
+	for s := range defsOfSlot {
+		defsOfSlot[s] = make([]uint64, words)
+	}
+	set := func(bs []uint64, i int) { bs[i/64] |= 1 << (i % 64) }
+	for pc := range m.Code {
+		if d := m.Code[pc].Def(); d >= 0 {
+			set(defsOfSlot[d], pc)
+		}
+	}
+	for s := 0; s < m.Params && s < m.NumLocals; s++ {
+		set(defsOfSlot[s], n+s)
+	}
+
+	nb := cfg.NumBlocks()
+	in := make([][]uint64, nb)
+	out := make([][]uint64, nb)
+	for b := 0; b < nb; b++ {
+		in[b] = make([]uint64, words)
+		out[b] = make([]uint64, words)
+	}
+	// Forward union fixpoint; the entry block starts with the parameter
+	// pseudo-defs.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.RPO {
+			blk := &cfg.Blocks[b]
+			cur := in[b]
+			for w := range cur {
+				cur[w] = 0
+			}
+			for _, p := range blk.Preds {
+				for w := range cur {
+					cur[w] |= out[p][w]
+				}
+			}
+			if b == 0 {
+				for s := 0; s < m.Params && s < m.NumLocals; s++ {
+					set(cur, n+s)
+				}
+			}
+			tmp := make([]uint64, words)
+			copy(tmp, cur)
+			for pc := blk.Start; pc < blk.End; pc++ {
+				if d := m.Code[pc].Def(); d >= 0 {
+					for w := range tmp {
+						tmp[w] &^= defsOfSlot[d][w]
+					}
+					set(tmp, pc)
+				}
+			}
+			same := true
+			for w := range tmp {
+				if out[b][w] != tmp[w] {
+					same = false
+				}
+			}
+			if !same {
+				copy(out[b], tmp)
+				changed = true
+			}
+		}
+	}
+
+	mf := &methodFlow{m: m, cfg: cfg, operands: make([][]operand, n)}
+	cur := make([]uint64, words)
+	for _, b := range cfg.RPO {
+		blk := &cfg.Blocks[b]
+		copy(cur, in[b])
+		for pc := blk.Start; pc < blk.End; pc++ {
+			inst := &m.Code[pc]
+			inst.Uses(func(s int, base bool) {
+				op := operand{Slot: s, Base: base}
+				for w := 0; w < words; w++ {
+					bitsw := cur[w] & defsOfSlot[s][w]
+					for bitsw != 0 {
+						i := bitsw & (-bitsw)
+						bitsw &^= i
+						d := w*64 + bits.TrailingZeros64(i)
+						op.Defs = append(op.Defs, d)
+					}
+				}
+				mf.operands[pc] = append(mf.operands[pc], op)
+			})
+			if d := inst.Def(); d >= 0 {
+				for w := range cur {
+					cur[w] &^= defsOfSlot[d][w]
+				}
+				set(cur, pc)
+			}
+		}
+	}
+	return mf
+}

@@ -23,6 +23,14 @@ func validateMethod(m *Method) error {
 	if n == 0 {
 		return fmt.Errorf("ir: %s: empty body", m.QualifiedName())
 	}
+	// The frame must hold every parameter: callers copy argument i into slot
+	// i unconditionally, and the dataflow passes hand parameters pseudo-defs
+	// numbered from NumLocals — both index out of range when a hand-built
+	// method understates its frame size.
+	if m.NumLocals < m.Params {
+		return fmt.Errorf("ir: %s: %d locals cannot hold %d parameters",
+			m.QualifiedName(), m.NumLocals, m.Params)
+	}
 	errf := func(pc int, format string, args ...any) error {
 		return fmt.Errorf("ir: %s pc %d (%s): %s", m.QualifiedName(), pc, m.Code[pc].String(), fmt.Sprintf(format, args...))
 	}

@@ -81,3 +81,60 @@ func TestValidateRejectsFallOffViaBranch(t *testing.T) {
 		t.Fatalf("want falls-off error, got %v", err)
 	}
 }
+
+// TestValidateRejectsFrameSmallerThanParams: a method whose declared frame
+// cannot hold its own parameters is rejected at seal time. The Builder grows
+// NumLocals automatically, so the regression shrinks it by hand, the way a
+// hand-built program could.
+func TestValidateRejectsFrameSmallerThanParams(t *testing.T) {
+	b := NewBuilder()
+	cls := b.Class("Main", nil)
+	callee := b.Method(cls, "two", true, 2, nil)
+	b.Body(callee).ReturnVoid()
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.Const(0, 1)
+	mb.Call(-1, callee, 0, 0)
+	mb.ReturnVoid()
+	callee.NumLocals = 1 // body touches no slot, so the builder left room for params only
+	if _, err := b.Seal("Main", "main"); err == nil ||
+		!strings.Contains(err.Error(), "cannot hold") {
+		t.Fatalf("want frame-too-small error, got %v", err)
+	}
+}
+
+// TestValidateRejectsCallArgOutOfRange pins the arg-slot bounds check on
+// OpCall: an argument slot outside the caller's frame is rejected.
+func TestValidateRejectsCallArgOutOfRange(t *testing.T) {
+	b := NewBuilder()
+	cls := b.Class("Main", nil)
+	callee := b.Method(cls, "one", true, 1, nil)
+	b.Body(callee).ReturnVoid()
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.Const(0, 1)
+	call := mb.Call(-1, callee, 0)
+	mb.ReturnVoid()
+	m.Code[call].Args[0] = 99 // past the frame the builder sized
+	if _, err := b.Seal("Main", "main"); err == nil ||
+		!strings.Contains(err.Error(), "arg slot 99 out of range") {
+		t.Fatalf("want call-arg bounds error, got %v", err)
+	}
+}
+
+// TestValidateRejectsNativeArgOutOfRange pins the same bounds check on
+// OpNative.
+func TestValidateRejectsNativeArgOutOfRange(t *testing.T) {
+	b := NewBuilder()
+	cls := b.Class("Main", nil)
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.Const(0, 1)
+	nat := mb.Native(-1, NativePrint, 0)
+	mb.ReturnVoid()
+	m.Code[nat].Args[0] = -3
+	if _, err := b.Seal("Main", "main"); err == nil ||
+		!strings.Contains(err.Error(), "arg slot -3 out of range") {
+		t.Fatalf("want native-arg bounds error, got %v", err)
+	}
+}

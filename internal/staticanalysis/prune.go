@@ -1,6 +1,9 @@
 package staticanalysis
 
-import "lowutil/internal/ir"
+import (
+	"lowutil/internal/interproc"
+	"lowutil/internal/ir"
+)
 
 // PruneStats summarizes what PruneSet proved.
 type PruneStats struct {
@@ -48,17 +51,33 @@ var pruneOps = map[ir.Op]bool{
 // instruction, so program behavior, outputs and step counts are identical;
 // only the trace gets cheaper.
 func PruneSet(prog *ir.Program) ([]bool, PruneStats) {
+	return PruneSetWith(prog, nil)
+}
+
+// PruneSetWith is PruneSet with interprocedural taint summaries. When sum is
+// non-nil, the two conservative worst-case assumptions of the intraprocedural
+// analysis are replaced by whole-program facts for every method the call
+// graph covers: a formal parameter is tainted only when some reachable call
+// site may pass it a heap-derived value, and a call result is tainted only
+// when some resolved target's return value is. Both refinements shrink the
+// taint set monotonically, so the prune set is always a superset of
+// PruneSet's — methods outside the call graph keep the conservative rules.
+func PruneSetWith(prog *ir.Program, sum *interproc.Summaries) ([]bool, PruneStats) {
 	prune := make([]bool, len(prog.Instrs))
 	var st PruneStats
 	for _, c := range prog.Classes {
 		for _, m := range c.Methods {
-			pruneMethod(m, prune, &st)
+			if sum != nil && !sum.Covers(m) {
+				pruneMethod(m, prune, &st, nil)
+			} else {
+				pruneMethod(m, prune, &st, sum)
+			}
 		}
 	}
 	return prune, st
 }
 
-func pruneMethod(m *ir.Method, prune []bool, st *PruneStats) {
+func pruneMethod(m *ir.Method, prune []bool, st *PruneStats, sum *interproc.Summaries) {
 	cfg := ir.NewCFG(m)
 	rd := NewReachingDefs(m, cfg)
 	du := rd.DefUse()
@@ -84,7 +103,11 @@ func pruneMethod(m *ir.Method, prune []bool, st *PruneStats) {
 	// transitive reader inside that location's forward benefit slice.
 	tainted := make([]bool, n+m.Params)
 	for s := 0; s < m.Params; s++ {
-		tainted[n+s] = true
+		if sum != nil {
+			tainted[n+s] = sum.ParamTainted(m, s)
+		} else {
+			tainted[n+s] = true
+		}
 	}
 	for pc := range m.Code {
 		in := &m.Code[pc]
@@ -92,14 +115,21 @@ func pruneMethod(m *ir.Method, prune []bool, st *PruneStats) {
 			continue
 		}
 		switch in.Op {
-		case ir.OpLoadField, ir.OpLoadStatic, ir.OpALoad, ir.OpArrayLen,
-			ir.OpCall:
+		case ir.OpLoadField, ir.OpLoadStatic, ir.OpALoad, ir.OpArrayLen:
+			tainted[pc] = true
+		case ir.OpCall:
 			// ArrayLen depends on the allocation node, which an
 			// allocation-size value chain can make load-reachable; call
-			// results chain into callee internals. Native results are left
-			// untainted: native nodes are consumer sinks, and every forward
-			// benefit walk stops at consumers without traversing them.
-			tainted[pc] = true
+			// results chain into callee internals — unless the summaries
+			// prove every resolved target returns a taint-free value.
+			// Native results are left untainted: native nodes are consumer
+			// sinks, and every forward benefit walk stops at consumers
+			// without traversing them.
+			if sum != nil {
+				tainted[pc] = sum.CallResultTainted(in)
+			} else {
+				tainted[pc] = true
+			}
 		}
 	}
 	for changed := true; changed; {

@@ -1,0 +1,149 @@
+package staticanalysis
+
+import (
+	"testing"
+
+	"lowutil/internal/costben"
+	"lowutil/internal/depgraph"
+	"lowutil/internal/interp"
+	"lowutil/internal/interproc"
+	"lowutil/internal/ir"
+	"lowutil/internal/profiler"
+	"lowutil/internal/workloads"
+)
+
+// TestPruneInterprocSuperset: on every workload, the summary-refined prune
+// set must contain the intraprocedural one, and must still touch only pure
+// opcodes.
+func TestPruneInterprocSuperset(t *testing.T) {
+	strictlyMore := 0
+	for _, w := range workloads.All() {
+		prog, err := w.Compile(1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		base, bst := PruneSet(prog)
+		an := interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA})
+		inter, ist := PruneSetWith(prog, an.Sum)
+		for id := range base {
+			if base[id] && !inter[id] {
+				in := prog.Instrs[id]
+				t.Errorf("%s: %s pc %d pruned intraproc but not interproc",
+					w.Name, in.Method.QualifiedName(), in.PC)
+			}
+			if inter[id] && !pruneOps[prog.Instrs[id].Op] {
+				t.Errorf("%s: interproc pruned non-pure op %s", w.Name, prog.Instrs[id].Op)
+			}
+		}
+		if ist.Pruned < bst.Pruned {
+			t.Errorf("%s: interproc pruned %d < intraproc %d", w.Name, ist.Pruned, bst.Pruned)
+		}
+		if ist.Pruned > bst.Pruned {
+			strictlyMore++
+		}
+	}
+	t.Logf("interprocedural summaries pruned strictly more on %d/18 workloads", strictlyMore)
+}
+
+// TestPruneInterprocStrictlyMore: a pure helper whose constant result feeds
+// only dead arithmetic is invisible to the per-method pruner (call results
+// are conservatively tainted) but pruned with return-taint summaries.
+func TestPruneInterprocStrictlyMore(t *testing.T) {
+	b := ir.NewBuilder()
+	cls := b.Class("Main", nil)
+	helper := b.Method(cls, "seven", true, 0, ir.IntType)
+	hb := b.Body(helper)
+	hb.Const(0, 7)
+	hb.Return(0)
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.Call(0, helper)      // pc0: r = seven()
+	mb.Bin(1, ir.Add, 0, 0) // pc1: dead, derived only from the pure call
+	mb.ReturnVoid()
+	prog, err := b.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, _ := PruneSet(prog)
+	if base[m.Code[1].ID] {
+		t.Fatal("intraproc prune must treat the call result as tainted")
+	}
+	an := interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA})
+	inter, _ := PruneSetWith(prog, an.Sum)
+	if !inter[m.Code[1].ID] {
+		t.Error("interproc prune must see seven() returns a taint-free constant")
+	}
+	if !inter[helper.Code[0].ID] && base[helper.Code[0].ID] {
+		t.Error("superset violated inside the helper")
+	}
+}
+
+// TestPruneVirtualDispatchWrite: a virtual call site where only one override
+// writes a profiled field. The prune set must stay sound in both directions:
+// the written field's store and load events survive in every override, and
+// profiling with the interprocedural prune preserves the per-site ranking.
+func TestPruneVirtualDispatchWrite(t *testing.T) {
+	b := ir.NewBuilder()
+	base := b.Class("Base", nil)
+	fv := b.Field(base, "v", ir.IntType)
+	writer := b.Class("Writer", base)
+	quiet := b.Class("Quiet", base)
+
+	// Base.touch(this, x) { } — Writer overrides with this.v = x; Quiet
+	// inherits the empty body.
+	touch := b.Method(base, "touch", false, 2, nil)
+	b.Body(touch).ReturnVoid()
+	wt := b.Method(writer, "touch", false, 2, nil)
+	wb := b.Body(wt)
+	wb.StoreField(0, fv, 1)
+	wb.ReturnVoid()
+	_ = quiet
+
+	main := b.Class("Main", nil)
+	mm := b.Method(main, "main", true, 0, nil)
+	mb := b.Body(mm)
+	mb.New(0, writer)        // pc0
+	mb.New(1, quiet)         // pc1
+	mb.Const(2, 5)           // pc2: the written value — must not be pruned
+	mb.Call(-1, touch, 0, 2) // pc3: dispatches to Writer.touch
+	mb.Call(-1, touch, 1, 2) // pc4: dispatches to Base.touch (no write)
+	mb.LoadField(3, 0, fv)   // pc5
+	mb.Native(-1, ir.NativePrint, 3)
+	mb.ReturnVoid()
+	prog, err := b.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	an := interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA})
+	prune, _ := PruneSetWith(prog, an.Sum)
+	if prune[mm.Code[2].ID] {
+		t.Error("the const feeding Writer.touch's field write must not be pruned")
+	}
+	if prune[wt.Code[0].ID] || prune[mm.Code[5].ID] {
+		t.Error("store/load events must never be pruned")
+	}
+
+	run := func(p []bool) *depgraph.Graph {
+		pr := profiler.New(prog, profiler.Options{Slots: 16, Prune: p})
+		m := interp.New(prog)
+		m.Tracer = pr
+		m.Prune = p
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return pr.G
+	}
+	full := costben.NewAnalysis(run(nil)).RankBySite(4)
+	pruned := costben.NewAnalysis(run(prune)).RankBySite(4)
+	if len(full) != len(pruned) {
+		t.Fatalf("site count %d vs %d under prune", len(full), len(pruned))
+	}
+	for i := range full {
+		f, p := full[i], pruned[i]
+		if f.Site != p.Site || f.NRAC != p.NRAC || f.NRAB != p.NRAB {
+			t.Errorf("rank %d diverges: %v vs %v", i, f, p)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lowutil/internal/interproc"
 	"lowutil/internal/ir"
 )
 
@@ -25,14 +26,19 @@ const (
 	// KindUninitRead: a read of a slot some path reaches without
 	// initializing (reads no path initializes are rejected at seal time).
 	KindUninitRead
+	// KindCalleeClobbered: a definition whose every use passes the value to
+	// a call-argument position that no resolved callee ever reads — dead
+	// work the per-method dead-store check cannot see.
+	KindCalleeClobbered
 )
 
 var kindNames = [...]string{
-	KindDeadStore:      "dead-store",
-	KindWriteOnlyField: "write-only-field",
-	KindUnusedAlloc:    "unused-alloc",
-	KindUnreachable:    "unreachable-code",
-	KindUninitRead:     "uninit-read",
+	KindDeadStore:       "dead-store",
+	KindWriteOnlyField:  "write-only-field",
+	KindUnusedAlloc:     "unused-alloc",
+	KindUnreachable:     "unreachable-code",
+	KindUninitRead:      "uninit-read",
+	KindCalleeClobbered: "callee-clobbered-store",
 }
 
 func (k Kind) String() string {
@@ -84,13 +90,22 @@ var deadStoreOps = map[ir.Op]bool{
 
 // Vet runs the full static diagnostics suite over prog and returns the
 // findings sorted by (class, method, pc, kind) so output is byte-identical
-// across runs.
+// across runs. The interprocedural checks run over an RTA call graph with
+// context-insensitive points-to; use VetWith to supply a different pipeline.
 func Vet(prog *ir.Program) []Finding {
+	return VetWith(prog, interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA}))
+}
+
+// VetWith is Vet over a caller-supplied interprocedural analysis. A nil
+// analysis degrades every whole-program check to its single-method
+// approximation (the pre-call-graph behavior).
+func VetWith(prog *ir.Program, an *interproc.Analysis) []Finding {
 	var out []Finding
-	out = append(out, writeOnlyFields(prog)...)
+	out = append(out, writeOnlyFields(prog, an)...)
+	unusedByPT := interprocUnusedObjects(an)
 	for _, c := range prog.Classes {
 		for _, m := range c.Methods {
-			out = append(out, vetMethod(m)...)
+			out = append(out, vetMethod(m, an, unusedByPT)...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -113,23 +128,45 @@ func Vet(prog *ir.Program) []Finding {
 }
 
 // writeOnlyFields finds instance and static fields stored somewhere but
-// loaded nowhere in the program.
-func writeOnlyFields(prog *ir.Program) []Finding {
+// loaded nowhere in the program. With a call graph, loads and stores in
+// unreachable methods no longer count: a field whose every load sits in dead
+// code is reported (with a distinguishing message), and a field stored only
+// in dead code is not reported at all.
+func writeOnlyFields(prog *ir.Program, an *interproc.Analysis) []Finding {
 	loaded := make(map[*ir.Field]bool)
 	stored := make(map[*ir.Field]bool)
+	loadedAnywhere := make(map[*ir.Field]bool)
 	staticLoaded := make(map[*ir.StaticField]bool)
 	staticStored := make(map[*ir.StaticField]bool)
+	staticLoadedAnywhere := make(map[*ir.StaticField]bool)
 	for _, in := range prog.Instrs {
+		reachable := an == nil || an.CG.Reachable(in.Method)
 		switch in.Op {
 		case ir.OpLoadField:
-			loaded[in.Field] = true
+			loadedAnywhere[in.Field] = true
+			if reachable {
+				loaded[in.Field] = true
+			}
 		case ir.OpStoreField:
-			stored[in.Field] = true
+			if reachable {
+				stored[in.Field] = true
+			}
 		case ir.OpLoadStatic:
-			staticLoaded[in.Static] = true
+			staticLoadedAnywhere[in.Static] = true
+			if reachable {
+				staticLoaded[in.Static] = true
+			}
 		case ir.OpStoreStatic:
-			staticStored[in.Static] = true
+			if reachable {
+				staticStored[in.Static] = true
+			}
 		}
+	}
+	detail := func(kind, name string, loadedSomewhere bool) string {
+		if loadedSomewhere {
+			return fmt.Sprintf("%s %s is stored but loaded only in unreachable code", kind, name)
+		}
+		return fmt.Sprintf("%s %s is stored but never loaded", kind, name)
 	}
 	var out []Finding
 	for _, c := range prog.Classes {
@@ -139,7 +176,7 @@ func writeOnlyFields(prog *ir.Program) []Finding {
 					Kind:   KindWriteOnlyField,
 					Class:  c.Name,
 					PC:     -1,
-					Detail: fmt.Sprintf("field %s is stored but never loaded", f.QualifiedName()),
+					Detail: detail("field", f.QualifiedName(), loadedAnywhere[f]),
 				})
 			}
 		}
@@ -150,16 +187,70 @@ func writeOnlyFields(prog *ir.Program) []Finding {
 				Kind:   KindWriteOnlyField,
 				Class:  sf.Class.Name,
 				PC:     -1,
-				Detail: fmt.Sprintf("static field %s is stored but never loaded", sf.QualifiedName()),
+				Detail: detail("static field", sf.QualifiedName(), staticLoadedAnywhere[sf]),
 			})
 		}
 	}
 	return out
 }
 
+// interprocUnusedObjects returns, per allocation-site instruction ID, whether
+// the whole-program points-to relation proves the objects allocated there are
+// never read: no reachable heap read uses them as a base, and no reachable
+// predicate, instanceof, or native consumes the reference itself. Writes into
+// the object (construction) do not count as uses, matching the dynamic
+// zero-benefit criterion.
+func interprocUnusedObjects(an *interproc.Analysis) map[int]bool {
+	if an == nil {
+		return nil
+	}
+	used := make(map[interproc.ObjID]bool)
+	mark := func(m *ir.Method, slot int) {
+		for _, o := range an.PT.VarPT(m, slot) {
+			used[o] = true
+		}
+	}
+	for _, m := range an.CG.Methods() {
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			switch in.Op {
+			case ir.OpLoadField, ir.OpALoad, ir.OpArrayLen:
+				mark(m, in.A)
+			case ir.OpIf:
+				mark(m, in.A)
+				mark(m, in.B)
+			case ir.OpInstanceOf:
+				mark(m, in.A)
+			case ir.OpNative:
+				for _, a := range in.Args {
+					mark(m, a)
+				}
+			}
+		}
+	}
+	unused := make(map[int]bool)
+	objsBySite := make(map[int][]interproc.ObjID)
+	for id := range an.PT.Objects {
+		site := an.PT.Objects[id].Site
+		objsBySite[site.ID] = append(objsBySite[site.ID], interproc.ObjID(id))
+	}
+	for siteID, objs := range objsBySite {
+		dead := true
+		for _, o := range objs {
+			if used[o] {
+				dead = false
+				break
+			}
+		}
+		unused[siteID] = dead
+	}
+	return unused
+}
+
 // vetMethod runs the per-method checks: dead stores, unused allocations,
-// unreachable code, and possibly-uninitialized reads.
-func vetMethod(m *ir.Method) []Finding {
+// unreachable code, possibly-uninitialized reads, and (given an analysis)
+// callee-clobbered stores.
+func vetMethod(m *ir.Method, an *interproc.Analysis, unusedByPT map[int]bool) []Finding {
 	cfg := ir.NewCFG(m)
 	rd := NewReachingDefs(m, cfg)
 	du := rd.DefUse()
@@ -193,19 +284,48 @@ func vetMethod(m *ir.Method) []Finding {
 		}
 	}
 
-	// Unused allocations: the object is only ever written into (it is a
-	// store base) or copied between locals; it is never loaded from, never
-	// compared, and never escapes into a call, the heap, or the return
-	// value. Aliases through OpMove are followed; any read through any alias
-	// counts as a use.
+	// Unused allocations. The per-method rule: the object is only ever
+	// written into (it is a store base) or copied between locals; it is
+	// never loaded from, never compared, and never escapes into a call, the
+	// heap, or the return value. With whole-program points-to the escape
+	// bail-outs go away: an object may be stored into the heap and passed
+	// between methods, and is still dead when no reachable instruction ever
+	// reads through it or consumes the reference.
+	covered := an != nil && an.CG.Reachable(m)
 	for pc := range m.Code {
 		in := &m.Code[pc]
 		if !in.IsAlloc() || !cfg.Reachable(cfg.BlockOf[pc]) {
 			continue
 		}
-		if allocIsUnused(m, du, pc) {
+		switch {
+		case allocIsUnused(m, du, pc):
 			out = append(out, finding(KindUnusedAlloc, pc,
 				"allocation (%s) never escapes and is never read", in))
+		case covered && unusedByPT[in.ID]:
+			out = append(out, finding(KindUnusedAlloc, pc,
+				"allocation (%s) is never read through any alias", in))
+		}
+	}
+
+	// Callee-clobbered stores: a computed value whose every use hands it to
+	// a call-argument position that no resolved target reads. The dead-store
+	// check requires an empty use set; this is its interprocedural
+	// completion for uses that cross into callees and die there.
+	if covered {
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			if in.Def() < 0 || !deadStoreOps[in.Op] || !cfg.Reachable(cfg.BlockOf[pc]) {
+				continue
+			}
+			if in.Op == ir.OpConst && (in.IsNull || in.Imm == 0) {
+				continue
+			}
+			if len(du[pc]) == 0 || !usesAllClobbered(m, an, du[pc], in.Dst) {
+				continue
+			}
+			out = append(out, finding(KindCalleeClobbered, pc,
+				"value of %s (%s) is passed only to parameters no callee reads",
+				m.LocalName(in.Dst), in))
 		}
 	}
 
@@ -239,6 +359,25 @@ func vetMethod(m *ir.Method) []Finding {
 	// gets here.
 	out = append(out, uninitReads(m, cfg)...)
 	return out
+}
+
+// usesAllClobbered reports whether every given use of a value in slot is a
+// call argument at a position every resolved target ignores. A slot may
+// appear at several argument positions of one call; all of them must be
+// ignored.
+func usesAllClobbered(m *ir.Method, an *interproc.Analysis, uses []Use, slot int) bool {
+	for _, u := range uses {
+		c := &m.Code[u.PC]
+		if c.Op != ir.OpCall {
+			return false
+		}
+		for i, a := range c.Args {
+			if a == slot && !an.Sum.ArgIgnoredByAllTargets(c, i) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // allocIsUnused walks the def-use chains from the allocation at pc,

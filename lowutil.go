@@ -42,6 +42,7 @@ import (
 	"lowutil/internal/deadness"
 	"lowutil/internal/depgraph"
 	"lowutil/internal/interp"
+	"lowutil/internal/interproc"
 	"lowutil/internal/ir"
 	"lowutil/internal/mjc"
 	"lowutil/internal/profiler"
@@ -110,6 +111,43 @@ func (p *Program) Vet() []VetFinding {
 	return out
 }
 
+// SliceOptions configures the interprocedural static slice.
+type SliceOptions struct {
+	// Mode selects call-graph construction: "cha" (class hierarchy) or
+	// "rta" (rapid type analysis, the default).
+	Mode string
+	// ObjCtx qualifies allocation sites by one level of receiver-object
+	// context — the static mirror of the dynamic profiler's
+	// receiver-object-sensitive slots.
+	ObjCtx bool
+	// Top bounds the candidate list in the rendered report (0 = 10).
+	Top int
+}
+
+// StaticSlice builds the whole-program static thin slice — call graph,
+// points-to relation, and the static over-approximation of Gcost — and
+// renders its report: graph sizes, the statically write-only stored
+// locations, and the top cost/benefit-bounded candidates. No execution is
+// involved, and every dependence, reference, and ownership edge any run
+// could produce is contained in the static edge sets (the soundness
+// invariant cross-validated by the differential harness). Output is
+// byte-stable across runs.
+func (p *Program) StaticSlice(opts SliceOptions) (string, error) {
+	cfg := interproc.Config{Mode: interproc.RTA, ObjCtx: opts.ObjCtx}
+	switch opts.Mode {
+	case "", "rta":
+	case "cha":
+		cfg.Mode = interproc.CHA
+	default:
+		return "", fmt.Errorf("lowutil: unknown call-graph mode %q (want cha or rta)", opts.Mode)
+	}
+	top := opts.Top
+	if top <= 0 {
+		top = 10
+	}
+	return interproc.Analyze(p.prog, cfg).Report(top), nil
+}
+
 // RunResult summarizes an uninstrumented execution.
 type RunResult struct {
 	// Output holds the values printed by the program.
@@ -149,9 +187,11 @@ type ProfileOptions struct {
 	// StaticPrune runs the static pre-analysis first and skips Gcost event
 	// emission for instructions it proves irrelevant to heap value flow
 	// (dead stores and pure base-pointer arithmetic — see
-	// staticanalysis.PruneSet). Sound only for thin slicing, so it is
-	// ignored when Traditional is set. Rankings are unchanged; the trace
-	// just gets cheaper.
+	// staticanalysis.PruneSet). The proof uses whole-program call-graph and
+	// points-to summaries (staticanalysis.PruneSetWith), which prune a
+	// superset of the per-method analysis. Sound only for thin slicing, so
+	// it is ignored when Traditional is set. Rankings are unchanged; the
+	// trace just gets cheaper.
 	StaticPrune bool
 	// LegacyAnalysis selects the per-query traversal path of the
 	// cost-benefit analysis instead of the frozen-snapshot DP. The results
@@ -172,7 +212,8 @@ func (p *Program) Profile(opts ProfileOptions) (*Profile, error) {
 	m := interp.New(p.prog)
 	m.Tracer = prof
 	if opts.StaticPrune && !opts.Traditional {
-		m.Prune, _ = staticanalysis.PruneSet(p.prog)
+		an := interproc.Analyze(p.prog, interproc.Config{Mode: interproc.RTA})
+		m.Prune, _ = staticanalysis.PruneSetWith(p.prog, an.Sum)
 	}
 	if err := m.Run(); err != nil {
 		return nil, err

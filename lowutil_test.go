@@ -436,3 +436,81 @@ func TestFacadeSaveLoadProfile(t *testing.T) {
 		t.Error("want fingerprint rejection")
 	}
 }
+
+func TestFacadeStaticSlice(t *testing.T) {
+	prog, err := Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := prog.StaticSlice(SliceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"static slice (mode=rta", "call graph:", "points-to:", "write-only"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	rep2, err := prog.StaticSlice(SliceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != rep2 {
+		t.Error("static slice report is not byte-stable")
+	}
+	cha, err := prog.StaticSlice(SliceOptions{Mode: "cha", ObjCtx: true, Top: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cha, "mode=cha") || !strings.Contains(cha, "objctx=on") {
+		t.Errorf("cha/objctx header wrong:\n%s", cha)
+	}
+	if _, err := prog.StaticSlice(SliceOptions{Mode: "0cfa"}); err == nil {
+		t.Error("unknown mode must error")
+	}
+}
+
+// TestFacadeStaticPruneInterproc: profiling with the interprocedural prune
+// must suppress events yet leave the ranked findings identical. The dead
+// arithmetic on seven()'s result is prunable only with return-taint
+// summaries — the per-method analysis must assume any call result may
+// derive from a heap read.
+func TestFacadeStaticPruneInterproc(t *testing.T) {
+	src := quickSrc + `
+class Extra {
+  static int seven() { return 7; }
+  static int spin(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      int w = seven() + i;
+      acc = acc + i;
+    }
+    return acc;
+  }
+}`
+	src = strings.Replace(src, "print(axisUnits);", "print(axisUnits + Extra.spin(30));", 1)
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := prog.Profile(ProfileOptions{Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := prog.Profile(ProfileOptions{Slots: 8, StaticPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.PrunedEvents() == 0 {
+		t.Error("interprocedural prune suppressed no events")
+	}
+	a, b := full.TopStructures(5), pruned.TopStructures(5)
+	if len(a) != len(b) {
+		t.Fatalf("finding counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("finding %d diverges under prune:\n  full:   %v\n  pruned: %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,15 +1,18 @@
 #!/bin/sh
-# Runs the key analysis benchmarks and writes BENCH_2.json (one object per
-# benchmark: ns/op, B/op, allocs/op) so the perf trajectory is tracked
-# across PRs. Override the selection or duration with:
+# Runs the key analysis benchmarks and writes BENCH_<idx>.json (one object
+# per benchmark: ns/op, B/op, allocs/op) so the perf trajectory is tracked
+# across PRs. The index is the first argument (default 3); OUT overrides the
+# path entirely. Override the selection or duration with:
 #
+#   sh scripts/bench.sh 4
 #   BENCH='BenchmarkCostBenefitAnalysis' BENCHTIME=2s sh scripts/bench.sh
 set -e
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkCostBenefitAnalysis|BenchmarkDeadness|BenchmarkOverhead|BenchmarkInterpreterRaw}"
+IDX="${1:-3}"
+BENCH="${BENCH:-BenchmarkCostBenefitAnalysis|BenchmarkDeadness|BenchmarkOverhead|BenchmarkInterpreterRaw|BenchmarkPointsTo|BenchmarkStaticSlice|BenchmarkInterprocPrune}"
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="${OUT:-BENCH_2.json}"
+OUT="${OUT:-BENCH_${IDX}.json}"
 
 go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem . \
     | tee /dev/stderr \

@@ -14,6 +14,12 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+# Static-analysis gates, run explicitly so a failure names the gate: the
+# vet lint suite over all 18 workloads against its golden files, and the
+# static-vs-dynamic Gcost containment harness (-short subset — the full
+# 18-workload × {CHA, RTA} sweep already ran inside `go test ./...`).
+make lint
+go test ./internal/interproc -run TestSoundnessAllWorkloads -short -count=1
 # The analysis pipeline is parallel; -short keeps the race pass fast by
 # trimming the all-workload differential sweeps to a subset.
 go test -race -short ./...
