@@ -1,4 +1,4 @@
-.PHONY: check build test bench lint
+.PHONY: check build test bench lint apisurface
 
 check:
 	sh scripts/check.sh
@@ -18,3 +18,8 @@ bench:
 #   go test ./internal/staticanalysis -run TestVetGoldenWorkloads -update
 lint:
 	go test ./internal/staticanalysis -run TestVetGoldenWorkloads -count=1
+
+# Public-API pin for the root package. Regenerate after an intended API
+# change with: sh scripts/apisurface.sh -update
+apisurface:
+	sh scripts/apisurface.sh

@@ -15,6 +15,7 @@
 package lowutil
 
 import (
+	"context"
 	"testing"
 
 	"lowutil/internal/casestudies"
@@ -271,6 +272,34 @@ func BenchmarkDeadness(b *testing.B) {
 			b.Fatal("empty analysis")
 		}
 	}
+}
+
+// ---- cancellation-check overhead on the profiler hot path ----
+
+// BenchmarkCancelCheck measures what the periodic context poll in the
+// interpreter main loop costs a profiled run: nil Ctx (the poll compiles
+// to a nil check per masked step) vs a live, never-canceled context (one
+// channel select every 8192 steps). The serve acceptance bound is <= 2%.
+func BenchmarkCancelCheck(b *testing.B) {
+	prog := mustCompileWorkload(b, "chart")
+	run := func(b *testing.B, ctx context.Context) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			p := profiler.New(prog, profiler.Options{Slots: 16})
+			m := interp.New(prog)
+			m.Tracer = p
+			m.Ctx = ctx
+			if err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("no_ctx", func(b *testing.B) { run(b, nil) })
+	b.Run("live_ctx", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		run(b, ctx)
+	})
 }
 
 // ---- raw VM speed, for context ----

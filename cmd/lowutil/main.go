@@ -12,6 +12,7 @@
 //	lowutil copies     [flags] prog.mj  extended copy profiling
 //	lowutil predicates [flags] prog.mj  always-true/false predicates
 //	lowutil overwrites [flags] prog.mj  heap locations rewritten before read
+//	lowutil serve      [flags]          HTTP profiling service (v2 JSON API)
 //
 // Flags (profile): -s context slots (default 16), -top findings (default
 // 10), -n reference-tree height (default 4), -traditional for the
@@ -66,6 +67,8 @@ func main() {
 		err = cmdOverwrites(args)
 	case "caches":
 		err = cmdCaches(args)
+	case "serve":
+		err = cmdServe(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -81,7 +84,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lowutil <command> [flags] <file.mj>
-commands: run, disasm, vet, slice, profile, nullcheck, copies, predicates, overwrites, caches`)
+commands: run, disasm, vet, slice, profile, nullcheck, copies, predicates, overwrites, caches, serve`)
 }
 
 func compileFile(path string) (*lowutil.Program, error) {
@@ -162,7 +165,7 @@ func cmdSlice(args []string) error {
 	fs := flag.NewFlagSet("slice", flag.ContinueOnError)
 	mode := fs.String("mode", "rta", "call-graph construction: cha or rta")
 	objctx := fs.Bool("objctx", false, "qualify allocation sites by one level of receiver-object context")
-	top := fs.Int("top", 10, "candidate locations to print")
+	top := fs.Int("top", lowutil.DefaultTop, "candidate locations to print")
 	path, err := oneFile(fs, args)
 	if err != nil {
 		return err
@@ -181,9 +184,9 @@ func cmdSlice(args []string) error {
 
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
-	slots := fs.Int("s", 16, "context slots per instruction (the paper's s)")
-	top := fs.Int("top", 10, "findings to print")
-	height := fs.Int("n", 4, "reference-tree height for n-RAC/n-RAB")
+	slots := fs.Int("s", lowutil.DefaultSlots, "context slots per instruction (the paper's s)")
+	top := fs.Int("top", lowutil.DefaultTop, "findings to print")
+	height := fs.Int("n", lowutil.DefaultTreeHeight, "reference-tree height for n-RAC/n-RAB")
 	traditional := fs.Bool("traditional", false, "use traditional (non-thin) slicing")
 	control := fs.Bool("control", false, "include control-decision cost (§3.2 alternative)")
 	prune := fs.Bool("prune", false, "statically prune instrumentation of provably irrelevant instructions")
@@ -213,10 +216,13 @@ func cmdProfile(args []string) error {
 			return err
 		}
 	} else {
-		profile, err = prog.Profile(lowutil.ProfileOptions{
-			Slots: *slots, TreeHeight: *height, Traditional: *traditional,
-			TrackControl: *control, StaticPrune: *prune,
-		})
+		opts := lowutil.DefaultOptions()
+		opts.Slots = *slots
+		opts.TreeHeight = *height
+		opts.Traditional = *traditional
+		opts.TrackControl = *control
+		opts.StaticPrune = *prune
+		profile, err = prog.Profile(opts)
 		if err != nil {
 			return err
 		}
@@ -251,7 +257,7 @@ func cmdProfile(args []string) error {
 
 func cmdCaches(args []string) error {
 	fs := flag.NewFlagSet("caches", flag.ContinueOnError)
-	slots := fs.Int("s", 16, "context slots")
+	slots := fs.Int("s", lowutil.DefaultSlots, "context slots")
 	minAcc := fs.Int64("min", 10, "minimum accesses")
 	path, err := oneFile(fs, args)
 	if err != nil {

@@ -16,12 +16,13 @@ import (
 	"strconv"
 	"strings"
 
+	"lowutil"
 	"lowutil/internal/evalharness"
 )
 
 func main() {
 	scale := flag.Int("scale", 4, "workload scale factor")
-	slotsFlag := flag.String("slots", "8,16", "comma-separated context-slot settings")
+	slotsFlag := flag.String("slots", fmt.Sprintf("8,%d", lowutil.DefaultSlots), "comma-separated context-slot settings")
 	only := flag.String("only", "", "comma-separated workload subset (default: all 18)")
 	phases := flag.Bool("phases", false, "also run the phase-restricted tracking experiment")
 	ablations := flag.Bool("ablations", false, "also run the thin-vs-traditional and abstract-vs-concrete ablations")

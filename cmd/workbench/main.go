@@ -26,8 +26,8 @@ func main() {
 	sliceName := flag.String("slice", "", "print the named workload's static thin-slice report (no execution)")
 	dump := flag.String("dump", "", "print the named workload's MJ source")
 	scale := flag.Int("scale", 1, "workload scale factor")
-	slots := flag.Int("s", 16, "context slots")
-	top := flag.Int("top", 10, "findings to print")
+	slots := flag.Int("s", lowutil.DefaultSlots, "context slots")
+	top := flag.Int("top", lowutil.DefaultTop, "findings to print")
 	mode := flag.String("mode", "rta", "slice call-graph construction: cha or rta")
 	objctx := flag.Bool("objctx", false, "slice with one level of receiver-object context")
 	flag.Parse()
@@ -53,7 +53,9 @@ func main() {
 		fmt.Printf("steps=%d allocs=%d nativeWork=%d\n", res.Steps, res.Allocs, res.NativeWork)
 	case *profileName != "":
 		prog := compile(*profileName, *scale)
-		profile, err := prog.Profile(lowutil.ProfileOptions{Slots: *slots})
+		opts := lowutil.DefaultOptions()
+		opts.Slots = *slots
+		profile, err := prog.Profile(opts)
 		if err != nil {
 			fatalf("%v", err)
 		}

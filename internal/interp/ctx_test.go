@@ -1,0 +1,100 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lowutil/internal/ir"
+)
+
+// buildSpin builds a program that loops forever incrementing a counter.
+func buildSpin(t *testing.T) *ir.Program {
+	t.Helper()
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 0)
+	mb.Const(1, 1)
+	top := mb.PC()
+	mb.Bin(0, ir.Add, 0, 1)
+	mb.Goto(top)
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	prog := buildSpin(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := New(prog)
+	m.Ctx = ctx
+	err := m.Run()
+	if err == nil {
+		t.Fatal("run of infinite loop under canceled context returned nil")
+	}
+	var vm *VMError
+	if !errors.As(err, &vm) || vm.Kind != ErrCanceled {
+		t.Fatalf("want VMError kind ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	// The poll fires on the first masked step boundary.
+	if m.Steps > cancelCheckMask+1 {
+		t.Errorf("canceled run executed %d steps, want <= %d", m.Steps, cancelCheckMask+1)
+	}
+}
+
+func TestRunDeadlineExceeded(t *testing.T) {
+	prog := buildSpin(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	m := New(prog)
+	m.Ctx = ctx
+	start := time.Now()
+	err := m.Run()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	// Cancellation must be prompt: well within an order of magnitude of
+	// the deadline, not bounded only by MaxSteps.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancellation took %v", d)
+	}
+}
+
+func TestRunMidwayCancel(t *testing.T) {
+	prog := buildSpin(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	m := New(prog)
+	m.Ctx = ctx
+	done := make(chan error, 1)
+	go func() { done <- m.Run() }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("machine did not stop after cancel")
+	}
+}
+
+func TestRunNilContextUnchanged(t *testing.T) {
+	prog := buildSpin(t)
+	m := New(prog)
+	m.MaxSteps = 10000
+	err := m.Run()
+	var vm *VMError
+	if !errors.As(err, &vm) || vm.Kind != ErrStepLimit {
+		t.Fatalf("want step-limit error, got %v", err)
+	}
+}

@@ -27,6 +27,9 @@ const (
 	ErrCast
 	// ErrNative is a native-method failure.
 	ErrNative
+	// ErrCanceled means the Machine's context was canceled or timed out;
+	// the VMError's Cause carries the context error.
+	ErrCanceled
 )
 
 var errKindNames = [...]string{
@@ -38,6 +41,7 @@ var errKindNames = [...]string{
 	ErrType:          "type violation",
 	ErrCast:          "bad cast",
 	ErrNative:        "native error",
+	ErrCanceled:      "canceled",
 }
 
 func (k ErrKind) String() string {
@@ -55,7 +59,14 @@ type VMError struct {
 	In    *ir.Instr
 	Frame *Frame
 	Msg   string
+	// Cause is the underlying error, when one exists — for ErrCanceled it
+	// is the machine context's error, so errors.Is(err, context.Canceled)
+	// and errors.Is(err, context.DeadlineExceeded) see through the VMError.
+	Cause error
 }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *VMError) Unwrap() error { return e.Cause }
 
 func (e *VMError) Error() string {
 	where := "?"

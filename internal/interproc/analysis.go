@@ -1,6 +1,7 @@
 package interproc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,20 +21,51 @@ type Analysis struct {
 
 // Analyze runs the full pipeline over prog under cfg.
 func Analyze(prog *ir.Program, cfg Config) *Analysis {
+	a, err := AnalyzeContext(context.Background(), prog, cfg)
+	if err != nil {
+		// Unreachable: the background context never cancels and the
+		// pipeline has no other failure mode.
+		panic(err)
+	}
+	return a
+}
+
+// AnalyzeContext runs the full pipeline over prog under cfg, polling ctx
+// between phases and inside every fixpoint loop. When ctx is done the
+// partially built state is discarded and the context error returned, so
+// long-running whole-program analyses honor per-request deadlines.
+func AnalyzeContext(ctx context.Context, prog *ir.Program, cfg Config) (*Analysis, error) {
 	cg := NewCallGraph(prog, cfg.Mode)
-	pt := NewPointsTo(prog, cg, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pt, err := newPointsTo(ctx, prog, cg, cfg)
+	if err != nil {
+		return nil, err
+	}
 	flows := make(map[int]*methodFlow, len(cg.Methods()))
 	for _, m := range cg.Methods() {
 		flows[m.ID] = newMethodFlow(m)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sum, err := newSummaries(ctx, cg, pt, flows)
+	if err != nil {
+		return nil, err
+	}
+	slice, err := newStaticGraph(ctx, cg, pt, flows)
+	if err != nil {
+		return nil, err
 	}
 	return &Analysis{
 		Prog:  prog,
 		Cfg:   cfg,
 		CG:    cg,
 		PT:    pt,
-		Sum:   newSummaries(cg, pt, flows),
-		Slice: newStaticGraph(cg, pt, flows),
-	}
+		Sum:   sum,
+		Slice: slice,
+	}, nil
 }
 
 // LocName renders an abstract location for reports: the qualified static

@@ -1,6 +1,7 @@
 package interproc
 
 import (
+	"context"
 	"sort"
 
 	"lowutil/internal/ir"
@@ -127,6 +128,16 @@ type callTarget struct {
 
 // NewPointsTo runs the analysis to fixpoint over cg's reachable methods.
 func NewPointsTo(prog *ir.Program, cg *CallGraph, cfg Config) *PointsTo {
+	pt, err := newPointsTo(context.Background(), prog, cg, cfg)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return pt
+}
+
+// newPointsTo is NewPointsTo with a context checked periodically inside the
+// propagation worklist; on cancellation the partial relation is discarded.
+func newPointsTo(ctx context.Context, prog *ir.Program, cg *CallGraph, cfg Config) (*PointsTo, error) {
 	nm := countMethods(prog)
 	pt := &PointsTo{
 		Prog:      prog,
@@ -170,10 +181,12 @@ func NewPointsTo(prog *ir.Program, cg *CallGraph, cfg Config) *PointsTo {
 		pending:    make([]objSet, next),
 	}
 	s.build()
-	s.solve()
+	if err := s.solve(ctx); err != nil {
+		return nil, err
+	}
 	// Grow field vars discovered during solving into pts (they are appended
 	// as ordinary vars, so nothing to do here — pts was grown in fieldVar).
-	return pt
+	return pt, nil
 }
 
 // grow appends a fresh var (used for lazily created field vars).
@@ -367,9 +380,16 @@ func (s *ptSolver) dispatch(caller *ir.Method, in *ir.Instr, o ObjID) {
 	}
 }
 
-// solve runs the propagation worklist to fixpoint.
-func (s *ptSolver) solve() {
+// solve runs the propagation worklist to fixpoint, polling ctx every few
+// thousand pops so a canceled request abandons the fixpoint promptly.
+func (s *ptSolver) solve(ctx context.Context) error {
+	pops := 0
 	for len(s.work) > 0 {
+		if pops++; pops&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		v := s.work[0]
 		s.work = s.work[1:]
 		s.inWL[v] = false
@@ -406,6 +426,7 @@ func (s *ptSolver) solve() {
 			}
 		}
 	}
+	return nil
 }
 
 // VarPT returns the points-to set of local slot s of m (sorted ObjIDs).

@@ -1,6 +1,7 @@
 package interproc
 
 import (
+	"context"
 	"sort"
 
 	"lowutil/internal/ir"
@@ -67,8 +68,9 @@ type childKey struct {
 
 func depKey(use, def int) uint64 { return uint64(uint32(use))<<32 | uint64(uint32(def)) }
 
-// newStaticGraph builds the static Gcost over-approximation.
-func newStaticGraph(cg *CallGraph, pt *PointsTo, flows map[int]*methodFlow) *StaticGraph {
+// newStaticGraph builds the static Gcost over-approximation, polling ctx
+// between phases and once per producer-fixpoint iteration.
+func newStaticGraph(ctx context.Context, cg *CallGraph, pt *PointsTo, flows map[int]*methodFlow) (*StaticGraph, error) {
 	prog := cg.Prog
 	sg := &StaticGraph{
 		Prog:      prog,
@@ -80,11 +82,19 @@ func newStaticGraph(cg *CallGraph, pt *PointsTo, flows map[int]*methodFlow) *Sta
 		locStores: make(map[Loc][]*ir.Instr),
 		locLoads:  make(map[Loc][]*ir.Instr),
 	}
-	sg.computeProducers(flows)
+	if err := sg.computeProducers(ctx, flows); err != nil {
+		return nil, err
+	}
 	sg.indexLocs()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sg.addEdges(flows)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sg.buildAdjacency()
-	return sg
+	return sg, nil
 }
 
 // computeProducers runs the producer fixpoint: the set of instructions whose
@@ -92,7 +102,7 @@ func newStaticGraph(cg *CallGraph, pt *PointsTo, flows map[int]*methodFlow) *Sta
 // producers are, over every reachable call site targeting the method, the
 // reaching definitions of the actual — where a definition that is itself a
 // formal of the caller recurses into the caller's producers.
-func (sg *StaticGraph) computeProducers(flows map[int]*methodFlow) {
+func (sg *StaticGraph) computeProducers(ctx context.Context, flows map[int]*methodFlow) error {
 	nm := countMethods(sg.Prog)
 	args := make([]map[int]bool, 0)
 	argIdx := make([][]int, nm) // methodID → slot → index into args, -1 unset
@@ -126,6 +136,9 @@ func (sg *StaticGraph) computeProducers(flows map[int]*methodFlow) {
 	}
 	for changed := true; changed; {
 		changed = false
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, m := range sg.CG.Methods() {
 			// Formals: pull from every reachable call site targeting m.
 			for _, c := range sg.CG.CallersOf(m) {
@@ -166,6 +179,7 @@ func (sg *StaticGraph) computeProducers(flows map[int]*methodFlow) {
 		}
 		sg.retProducers[m.ID] = sortedKeys(rets[m.ID])
 	}
+	return nil
 }
 
 func sortedKeys(set map[int]bool) []int {

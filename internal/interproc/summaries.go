@@ -1,6 +1,7 @@
 package interproc
 
 import (
+	"context"
 	"sort"
 
 	"lowutil/internal/ir"
@@ -50,8 +51,9 @@ type Summaries struct {
 	ref []map[Loc]bool
 }
 
-// newSummaries computes the summaries to a global fixpoint over cg.
-func newSummaries(cg *CallGraph, pt *PointsTo, flows map[int]*methodFlow) *Summaries {
+// newSummaries computes the summaries to a global fixpoint over cg, polling
+// ctx once per outer fixpoint iteration.
+func newSummaries(ctx context.Context, cg *CallGraph, pt *PointsTo, flows map[int]*methodFlow) (*Summaries, error) {
 	nm := countMethods(cg.Prog)
 	s := &Summaries{
 		CG:           cg,
@@ -67,9 +69,13 @@ func newSummaries(cg *CallGraph, pt *PointsTo, flows map[int]*methodFlow) *Summa
 		s.deadParam[m.ID] = make([]bool, m.Params)
 	}
 	s.computeDeadParams(flows)
-	s.computeTaint(flows)
-	s.computeModRef()
-	return s
+	if err := s.computeTaint(ctx, flows); err != nil {
+		return nil, err
+	}
+	if err := s.computeModRef(ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // computeDeadParams marks formals whose entry definition reaches no operand.
@@ -99,9 +105,12 @@ func (s *Summaries) computeDeadParams(flows map[int]*methodFlow) {
 // interprocedural refinements: a call result is tainted only when some
 // resolved target's return is, and a formal is tainted only when some
 // reachable call site passes a tainted actual.
-func (s *Summaries) computeTaint(flows map[int]*methodFlow) {
+func (s *Summaries) computeTaint(ctx context.Context, flows map[int]*methodFlow) error {
 	for changed := true; changed; {
 		changed = false
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, m := range s.CG.Methods() {
 			mf := flows[m.ID]
 			taint := s.localTaint(m, mf)
@@ -149,6 +158,7 @@ func (s *Summaries) computeTaint(flows map[int]*methodFlow) {
 			}
 		}
 	}
+	return nil
 }
 
 // localTaint computes per-definition taint for m under the current global
@@ -200,7 +210,7 @@ func (s *Summaries) localTaint(m *ir.Method, mf *methodFlow) []bool {
 
 // computeModRef collects direct heap effects per method via the points-to
 // relation, then closes them transitively over the call graph.
-func (s *Summaries) computeModRef() {
+func (s *Summaries) computeModRef(ctx context.Context) error {
 	for _, m := range s.CG.Methods() {
 		mod := make(map[Loc]bool)
 		ref := make(map[Loc]bool)
@@ -234,6 +244,9 @@ func (s *Summaries) computeModRef() {
 	}
 	for changed := true; changed; {
 		changed = false
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, m := range s.CG.Methods() {
 			for pc := range m.Code {
 				in := &m.Code[pc]
@@ -257,6 +270,7 @@ func (s *Summaries) computeModRef() {
 			}
 		}
 	}
+	return nil
 }
 
 // Covers reports whether the summaries carry refined facts for m (i.e. m is

@@ -1,0 +1,52 @@
+package par
+
+import "context"
+
+// Gate is a context-aware counting semaphore bounding in-flight work. The
+// profiling server uses it for admission control: each request acquires a
+// slot before doing CPU-bound work and releases it when done, so a burst
+// of requests degrades into an orderly queue instead of a thundering herd
+// of interpreter runs.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent holders. n <= 0 is
+// treated as 1.
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		n = 1
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, and reports which:
+// nil means the caller holds a slot and must Release it; otherwise the
+// context error is returned and no slot is held.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot without blocking and reports whether it got one.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or TryAcquire.
+func (g *Gate) Release() { <-g.slots }
+
+// InFlight returns the number of currently held slots.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Cap returns the gate's capacity.
+func (g *Gate) Cap() int { return cap(g.slots) }

@@ -1,0 +1,79 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateBounds(t *testing.T) {
+	g := NewGate(2)
+	if g.Cap() != 2 {
+		t.Fatalf("cap = %d, want 2", g.Cap())
+	}
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("fresh gate refused slots")
+	}
+	if g.TryAcquire() {
+		t.Fatal("full gate handed out a third slot")
+	}
+	if g.InFlight() != 2 {
+		t.Fatalf("inflight = %d, want 2", g.InFlight())
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+	g.Release()
+	g.Release()
+}
+
+func TestGateAcquireCancel(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked acquire: want DeadlineExceeded, got %v", err)
+	}
+	g.Release()
+}
+
+func TestGateConcurrent(t *testing.T) {
+	g := NewGate(3)
+	var mu sync.Mutex
+	peak, cur := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if peak > 3 {
+		t.Errorf("peak concurrency %d exceeds gate capacity 3", peak)
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("inflight = %d after drain", g.InFlight())
+	}
+}

@@ -1,0 +1,533 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"lowutil"
+	"lowutil/internal/par"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxSessions bounds the compiled-session LRU (0 = 64).
+	MaxSessions int
+	// MaxInFlight bounds concurrently executing heavy requests — profile,
+	// run, slice, load (0 = 4). Excess requests get 429.
+	MaxInFlight int
+	// RequestTimeout bounds each request's work (0 = 60s). The deadline
+	// context reaches the interpreter and every analysis fixpoint.
+	RequestTimeout time.Duration
+	// Logger receives one structured line per request (nil = slog default).
+	Logger *slog.Logger
+}
+
+// Server is the lowutil profiling service. Create with New, expose with
+// Handler, and drive it with any http.Server.
+type Server struct {
+	cfg      Config
+	sessions *sessionCache
+	gate     *par.Gate
+	met      *metrics
+	log      *slog.Logger
+	mux      *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &Server{
+		cfg:      cfg,
+		sessions: newSessionCache(cfg.MaxSessions),
+		gate:     par.NewGate(cfg.MaxInFlight),
+		met:      newMetrics(),
+		log:      log,
+		mux:      http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v2/compile", s.instrument("compile", false, s.handleCompile))
+	s.mux.HandleFunc("POST /v2/profile", s.instrument("profile", true, s.handleProfile))
+	s.mux.HandleFunc("POST /v2/report", s.instrument("report", true, s.handleReport))
+	s.mux.HandleFunc("POST /v2/slice", s.instrument("slice", true, s.handleSlice))
+	s.mux.HandleFunc("POST /v2/vet", s.instrument("vet", false, s.handleVet))
+	s.mux.HandleFunc("POST /v2/run", s.instrument("run", true, s.handleRun))
+	s.mux.HandleFunc("POST /v2/profile/save", s.instrument("save", true, s.handleSave))
+	s.mux.HandleFunc("POST /v2/profile/load", s.instrument("load", true, s.handleLoad))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns the service's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// apiError is the uniform error payload.
+type apiError struct {
+	Error string `json:"error"`
+	Line  int    `json:"line,omitempty"`
+	Col   int    `json:"col,omitempty"`
+}
+
+var errUnknownSession = errors.New("unknown session (expired from the cache or never compiled)")
+
+// instrument wraps a handler with request counting, per-request deadline,
+// admission control for heavy (execution- or analysis-bound) endpoints,
+// and the structured request log line.
+func (s *Server) instrument(name string, heavy bool, h func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.request(name)
+		if heavy {
+			if !s.gate.TryAcquire() {
+				s.met.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeJSON(w, http.StatusTooManyRequests, apiError{Error: "server at capacity"})
+				s.logLine(r, name, http.StatusTooManyRequests, start)
+				return
+			}
+			defer s.gate.Release()
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		resp, err := h(ctx, r)
+		status := http.StatusOK
+		if err != nil {
+			s.met.failure(name)
+			status = s.writeErr(w, err)
+		} else if raw, ok := resp.(json.RawMessage); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(raw)
+		} else {
+			s.writeJSON(w, http.StatusOK, resp)
+		}
+		s.logLine(r, name, status, start)
+	}
+}
+
+func (s *Server) logLine(r *http.Request, endpoint string, status int, start time.Time) {
+	s.log.Info("request",
+		"endpoint", endpoint,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", status,
+		"dur_ms", time.Since(start).Milliseconds(),
+		"inflight", s.gate.InFlight(),
+	)
+}
+
+// writeErr maps facade errors onto transport statuses: compile failures
+// are the client's fault (422), unknown sessions 404, bad payloads 400,
+// deadline expiry 504, cancellation 499 (client gone), the rest 500.
+func (s *Server) writeErr(w http.ResponseWriter, err error) int {
+	var ce *lowutil.CompileError
+	var badReq *badRequestError
+	status := http.StatusInternalServerError
+	payload := apiError{Error: err.Error()}
+	switch {
+	case errors.As(err, &ce):
+		status = http.StatusUnprocessableEntity
+		payload.Line, payload.Col = ce.Line, ce.Col
+	case errors.As(err, &badReq):
+		status = http.StatusBadRequest
+	case errors.Is(err, errUnknownSession):
+		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, lowutil.ErrCanceled), errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	}
+	s.writeJSON(w, status, payload)
+	return status
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Error("encode response", "err", err)
+	}
+}
+
+// badRequestError marks malformed payloads for the 400 mapping.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func decode[T any](r *http.Request) (*T, error) {
+	var v T
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	if err := dec.Decode(&v); err != nil {
+		return nil, &badRequestError{fmt.Errorf("decode request: %w", err)}
+	}
+	return &v, nil
+}
+
+// session resolves a session reference, counting cache traffic.
+func (s *Server) session(id string) (*Session, error) {
+	if id == "" {
+		return nil, &badRequestError{errors.New("missing session")}
+	}
+	sess, ok := s.sessions.get(id)
+	if !ok {
+		s.met.sessionMisses.Add(1)
+		return nil, fmt.Errorf("%w: %s", errUnknownSession, id)
+	}
+	s.met.sessionHits.Add(1)
+	return sess, nil
+}
+
+// ---- request/response payloads ----
+
+type compileRequest struct {
+	Source     string `json:"source"`
+	MainClass  string `json:"main_class,omitempty"`
+	MainMethod string `json:"main_method,omitempty"`
+}
+
+type compileResponse struct {
+	Session      string `json:"session"`
+	Instructions int    `json:"instructions"`
+	CacheHit     bool   `json:"cache_hit"`
+}
+
+// profileParams selects a memoized profiling configuration. Zero values
+// mean the facade defaults.
+type profileParams struct {
+	Slots        int  `json:"slots,omitempty"`
+	TreeHeight   int  `json:"tree_height,omitempty"`
+	Traditional  bool `json:"traditional,omitempty"`
+	TrackControl bool `json:"track_control,omitempty"`
+	Prune        bool `json:"prune,omitempty"`
+	Legacy       bool `json:"legacy,omitempty"`
+}
+
+func (p profileParams) key() profileKey {
+	k := profileKey{
+		Slots:        p.Slots,
+		TreeHeight:   p.TreeHeight,
+		Traditional:  p.Traditional,
+		TrackControl: p.TrackControl,
+		Prune:        p.Prune,
+		Legacy:       p.Legacy,
+	}
+	if k.Slots <= 0 {
+		k.Slots = lowutil.DefaultSlots
+	}
+	if k.TreeHeight <= 0 {
+		k.TreeHeight = lowutil.DefaultTreeHeight
+	}
+	return k
+}
+
+type profileRequest struct {
+	Session string `json:"session"`
+	profileParams
+	Top int `json:"top,omitempty"`
+}
+
+type findingJSON struct {
+	Site            int     `json:"site"`
+	Where           string  `json:"where"`
+	Cost            float64 `json:"cost"`
+	Benefit         float64 `json:"benefit"`
+	Rate            float64 `json:"rate"`
+	ReachesConsumer bool    `json:"reaches_consumer"`
+	Allocs          int64   `json:"allocs"`
+}
+
+type profileResponse struct {
+	Session  string        `json:"session"`
+	CacheHit bool          `json:"cache_hit"`
+	Steps    int64         `json:"steps"`
+	Pruned   int64         `json:"pruned_events,omitempty"`
+	Top      []findingJSON `json:"top"`
+}
+
+type reportResponse struct {
+	Session  string `json:"session"`
+	CacheHit bool   `json:"cache_hit"`
+	Report   string `json:"report"`
+}
+
+type sliceRequest struct {
+	Session string `json:"session"`
+	Mode    string `json:"mode,omitempty"`
+	ObjCtx  bool   `json:"objctx,omitempty"`
+	Top     int    `json:"top,omitempty"`
+}
+
+type vetRequest struct {
+	Session string `json:"session"`
+}
+
+type vetResponse struct {
+	Session  string   `json:"session"`
+	Findings []string `json:"findings"`
+}
+
+type runResponse struct {
+	Session    string  `json:"session"`
+	Output     []int64 `json:"output"`
+	Steps      int64   `json:"steps"`
+	Allocs     int64   `json:"allocs"`
+	NativeWork int64   `json:"native_work"`
+}
+
+type loadRequest struct {
+	Session string          `json:"session"`
+	Profile json.RawMessage `json:"profile"`
+	Top     int             `json:"top,omitempty"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCompile(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[compileRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	if req.Source == "" {
+		return nil, &badRequestError{errors.New("missing source")}
+	}
+	mc, mm := req.MainClass, req.MainMethod
+	if mc == "" {
+		mc = "Main"
+	}
+	if mm == "" {
+		mm = "main"
+	}
+	id := sessionKey(req.Source, mc, mm)
+	if sess, ok := s.sessions.get(id); ok {
+		s.met.sessionHits.Add(1)
+		return compileResponse{Session: sess.ID, Instructions: sess.Prog.NumInstructions(), CacheHit: true}, nil
+	}
+	prog, err := lowutil.CompileAt(req.Source, mc, mm)
+	if err != nil {
+		return nil, err
+	}
+	sess, inserted, evicted := s.sessions.add(&Session{ID: id, Created: time.Now(), Prog: prog})
+	if inserted {
+		s.met.sessionsCreated.Add(1)
+	} else {
+		s.met.sessionHits.Add(1)
+	}
+	s.met.sessionEvictions.Add(int64(evicted))
+	return compileResponse{Session: sess.ID, Instructions: sess.Prog.NumInstructions(), CacheHit: !inserted}, nil
+}
+
+// cachedProfile resolves the memoized run for a request, counting cache
+// traffic and step totals.
+func (s *Server) cachedProfile(ctx context.Context, sess *Session, p profileParams) (*profileEntry, bool, error) {
+	e, hit, err := sess.profile(ctx, p.key())
+	if hit {
+		s.met.profileHits.Add(1)
+	} else {
+		s.met.profileMisses.Add(1)
+		if err == nil {
+			e.use(func(pr *lowutil.Profile) error {
+				s.met.profiledSteps.Add(pr.Steps())
+				return nil
+			})
+		}
+	}
+	return e, hit, err
+}
+
+func (s *Server) handleProfile(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[profileRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	e, hit, err := s.cachedProfile(ctx, sess, req.profileParams)
+	if err != nil {
+		return nil, err
+	}
+	top := req.Top
+	if top <= 0 {
+		top = lowutil.DefaultTop
+	}
+	resp := profileResponse{Session: sess.ID, CacheHit: hit, Top: []findingJSON{}}
+	e.use(func(pr *lowutil.Profile) error {
+		resp.Steps = pr.Steps()
+		resp.Pruned = pr.PrunedEvents()
+		for _, f := range pr.TopStructures(top) {
+			resp.Top = append(resp.Top, findingJSON{
+				Site: f.Site, Where: f.Where, Cost: f.Cost, Benefit: f.Benefit,
+				Rate: f.Rate, ReachesConsumer: f.ReachesConsumer, Allocs: f.Allocs,
+			})
+		}
+		return nil
+	})
+	return resp, nil
+}
+
+func (s *Server) handleReport(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[profileRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	e, hit, err := s.cachedProfile(ctx, sess, req.profileParams)
+	if err != nil {
+		return nil, err
+	}
+	top := req.Top
+	if top <= 0 {
+		top = lowutil.DefaultTop
+	}
+	resp := reportResponse{Session: sess.ID, CacheHit: hit}
+	e.use(func(pr *lowutil.Profile) error {
+		resp.Report = pr.Report(top)
+		return nil
+	})
+	return resp, nil
+}
+
+func (s *Server) handleSlice(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[sliceRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	opts := []lowutil.SliceOption{lowutil.WithTop(req.Top)}
+	if req.Mode != "" {
+		opts = append(opts, lowutil.WithMode(req.Mode))
+	}
+	if req.ObjCtx {
+		opts = append(opts, lowutil.WithObjCtx())
+	}
+	rep, err := sess.Prog.StaticSliceContext(ctx, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return reportResponse{Session: sess.ID, Report: rep}, nil
+}
+
+func (s *Server) handleVet(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[vetRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	findings := []string{}
+	for _, f := range sess.Prog.Vet() {
+		findings = append(findings, f.Message)
+	}
+	return vetResponse{Session: sess.ID, Findings: findings}, nil
+}
+
+func (s *Server) handleRun(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[vetRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.Prog.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := res.Output
+	if out == nil {
+		out = []int64{}
+	}
+	return runResponse{
+		Session: sess.ID, Output: out,
+		Steps: res.Steps, Allocs: res.Allocs, NativeWork: res.NativeWork,
+	}, nil
+}
+
+// handleSave profiles (or reuses the memoized run) and streams the
+// portable profile envelope — the §3.2 offline-analysis deployment mode
+// over HTTP.
+func (s *Server) handleSave(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[profileRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	e, _, err := s.cachedProfile(ctx, sess, req.profileParams)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := e.use(func(pr *lowutil.Profile) error { return pr.Save(&buf) }); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}
+
+// handleLoad reloads a saved profile against the session's program and
+// renders its report, closing the save/load round trip.
+func (s *Server) handleLoad(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[loadRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Profile) == 0 {
+		return nil, &badRequestError{errors.New("missing profile")}
+	}
+	pr, err := sess.Prog.LoadProfile(bytes.NewReader(req.Profile))
+	if err != nil {
+		return nil, &badRequestError{err}
+	}
+	top := req.Top
+	if top <= 0 {
+		top = lowutil.DefaultTop
+	}
+	return reportResponse{Session: sess.ID, Report: pr.Report(top)}, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, s.sessions.len(), s.gate.InFlight(), s.gate.Cap())
+}

@@ -1,0 +1,408 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lowutil"
+)
+
+// workSrc allocates enough structure for profiling to be non-trivial.
+const workSrc = `
+class Point { int x; int y; }
+class Series {
+  Point[] items;
+  int size;
+  void init(int cap) { this.items = new Point[cap]; this.size = 0; }
+  void add(Point p) { this.items[this.size] = p; this.size = this.size + 1; }
+  int count() { return this.size; }
+}
+class Main {
+  static void main() {
+    int total = 0;
+    for (int s = 0; s < 10; s = s + 1) {
+      Series ser = new Series();
+      ser.init(40);
+      for (int i = 0; i < 40; i = i + 1) {
+        Point p = new Point();
+        p.x = hash(s * 100 + i) % 640;
+        p.y = hash(s * 200 + i) % 480;
+        ser.add(p);
+      }
+      total = total + ser.count();
+    }
+    print(total);
+  }
+}`
+
+// spinSrc loops forever, so only cancellation can stop it.
+const spinSrc = `
+class Main {
+  static void main() {
+    int i = 0;
+    while (true) { i = i + 1; }
+  }
+}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func compileSession(t *testing.T, base, src string) string {
+	t.Helper()
+	code, body := postJSON(t, base+"/v2/compile", compileRequest{Source: src})
+	if code != http.StatusOK {
+		t.Fatalf("compile: status %d: %s", code, body)
+	}
+	var cr compileResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	return cr.Session
+}
+
+// metricValue fetches /metrics and returns the value on the line starting
+// with prefix (a bare name or name{labels}).
+func metricValue(t *testing.T, base, prefix string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, prefix+" ") {
+			v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, prefix+" ")), 10, 64)
+			if err != nil {
+				t.Fatalf("parse metric %q in line %q: %v", prefix, line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %q not found", prefix)
+	return 0
+}
+
+// TestConcurrentProfiles drives 8 concurrent profile requests at one
+// session and asserts exactly one of them ran the profiler: the other
+// seven joined the memoized run (cache-hit counter) and all eight agree on
+// the result.
+func TestConcurrentProfiles(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 16})
+	id := compileSession(t, ts.URL, workSrc)
+
+	const n = 8
+	var wg sync.WaitGroup
+	responses := make([]profileResponse, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := postJSON(t, ts.URL+"/v2/profile", profileRequest{Session: id})
+			codes[i] = code
+			json.Unmarshal(body, &responses[i])
+		}(i)
+	}
+	wg.Wait()
+
+	hits := 0
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if responses[i].Steps != responses[0].Steps || responses[i].Steps == 0 {
+			t.Fatalf("request %d: steps %d != %d", i, responses[i].Steps, responses[0].Steps)
+		}
+		if len(responses[i].Top) == 0 {
+			t.Fatalf("request %d: no findings", i)
+		}
+		if responses[i].CacheHit {
+			hits++
+		}
+	}
+	if hits != n-1 {
+		t.Errorf("cache hits = %d, want %d (exactly one run)", hits, n-1)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_profile_cache_misses_total"); got != 1 {
+		t.Errorf("profile cache misses = %d, want 1", got)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_profile_cache_hits_total"); got != n-1 {
+		t.Errorf("profile cache hits = %d, want %d", got, n-1)
+	}
+
+	// A later report request reuses the same memoized run: still no second
+	// profiler execution.
+	code, body := postJSON(t, ts.URL+"/v2/report", profileRequest{Session: id})
+	if code != http.StatusOK {
+		t.Fatalf("report: status %d: %s", code, body)
+	}
+	var rr reportResponse
+	json.Unmarshal(body, &rr)
+	if !rr.CacheHit || !strings.Contains(rr.Report, "top low-utility structures") {
+		t.Errorf("report cache_hit=%v report=%q", rr.CacheHit, rr.Report)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_profile_cache_misses_total"); got != 1 {
+		t.Errorf("after report: profile cache misses = %d, want 1", got)
+	}
+}
+
+// TestCompileSessionCache asserts the second compile of identical source
+// is a session cache hit with the same ID.
+func TestCompileSessionCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := postJSON(t, ts.URL+"/v2/compile", compileRequest{Source: workSrc})
+	if code != http.StatusOK {
+		t.Fatalf("compile: %d %s", code, body)
+	}
+	var first compileResponse
+	json.Unmarshal(body, &first)
+	if first.CacheHit {
+		t.Error("first compile reported a cache hit")
+	}
+	_, body = postJSON(t, ts.URL+"/v2/compile", compileRequest{Source: workSrc})
+	var second compileResponse
+	json.Unmarshal(body, &second)
+	if !second.CacheHit || second.Session != first.Session {
+		t.Errorf("second compile: hit=%v session=%s want hit of %s", second.CacheHit, second.Session, first.Session)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_sessions_created_total"); got != 1 {
+		t.Errorf("sessions created = %d, want 1", got)
+	}
+}
+
+// TestCancellation cancels an in-flight profile of an infinite loop and
+// asserts the server unwinds promptly with the client-closed status, and
+// that the aborted run is evicted so the session retries cleanly.
+func TestCancellation(t *testing.T) {
+	s, ts := newTestServer(t, Config{RequestTimeout: time.Minute})
+	id := compileSession(t, ts.URL, spinSrc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	buf, _ := json.Marshal(profileRequest{Session: id})
+	req := httptest.NewRequest("POST", "/v2/profile", bytes.NewReader(buf)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	s.Handler().ServeHTTP(rec, req)
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+	if rec.Code != 499 {
+		t.Errorf("status = %d, want 499; body %s", rec.Code, rec.Body)
+	}
+	sess, ok := s.sessions.get(id)
+	if !ok {
+		t.Fatal("session vanished")
+	}
+	if n := sess.cachedProfiles(); n != 0 {
+		t.Errorf("canceled run left %d cache entries, want 0", n)
+	}
+
+	// The deadline path: a tight per-request timeout produces 504.
+	_, ts2 := newTestServer(t, Config{RequestTimeout: 100 * time.Millisecond})
+	id2 := compileSession(t, ts2.URL, spinSrc)
+	code, body := postJSON(t, ts2.URL+"/v2/profile", profileRequest{Session: id2})
+	if code != http.StatusGatewayTimeout {
+		t.Errorf("deadline status = %d, want 504; body %s", code, body)
+	}
+}
+
+// TestAdmissionControl fills the gate and asserts heavy endpoints shed
+// load with 429 while light ones still serve.
+func TestAdmissionControl(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1})
+	id := compileSession(t, ts.URL, workSrc)
+	if !s.gate.TryAcquire() {
+		t.Fatal("fresh gate full")
+	}
+	defer s.gate.Release()
+	code, body := postJSON(t, ts.URL+"/v2/profile", profileRequest{Session: id})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", code, body)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v2/vet", vetRequest{Session: id}); code != http.StatusOK {
+		t.Errorf("light endpoint rejected: %d", code)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_rejected_total"); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+}
+
+// TestErrorMapping covers the typed-error → status contract.
+func TestErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := postJSON(t, ts.URL+"/v2/compile", compileRequest{Source: "class Main { static void main() { print(x); } }"})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("compile error status = %d, want 422; body %s", code, body)
+	}
+	var ae apiError
+	json.Unmarshal(body, &ae)
+	if ae.Line <= 0 || ae.Error == "" {
+		t.Errorf("422 payload lacks position: %+v", ae)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v2/profile", profileRequest{Session: "deadbeef"}); code != http.StatusNotFound {
+		t.Errorf("unknown session status = %d, want 404", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v2/profile", profileRequest{}); code != http.StatusBadRequest {
+		t.Errorf("missing session status = %d, want 400", code)
+	}
+}
+
+// TestSaveLoadRoundTrip saves a profile through the server, reloads it
+// through the server, and asserts the rendered report is byte-identical to
+// reloading the same envelope locally — the offline deployment mode
+// round-trips losslessly over HTTP.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := compileSession(t, ts.URL, workSrc)
+
+	code, envelope := postJSON(t, ts.URL+"/v2/profile/save", profileRequest{Session: id})
+	if code != http.StatusOK {
+		t.Fatalf("save: status %d: %s", code, envelope)
+	}
+	code, body := postJSON(t, ts.URL+"/v2/profile/load", loadRequest{Session: id, Profile: envelope})
+	if code != http.StatusOK {
+		t.Fatalf("load: status %d: %s", code, body)
+	}
+	var lr reportResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := lowutil.Compile(workSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := prog.LoadProfile(bytes.NewReader(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := local.Report(lowutil.DefaultTop); lr.Report != want {
+		t.Errorf("server-loaded report differs from locally-loaded report:\nserver:\n%s\nlocal:\n%s", lr.Report, want)
+	}
+
+	// Loading the same envelope twice is deterministic.
+	_, body2 := postJSON(t, ts.URL+"/v2/profile/load", loadRequest{Session: id, Profile: envelope})
+	if !bytes.Equal(body, body2) {
+		t.Error("two loads of the same envelope produced different responses")
+	}
+}
+
+// TestMetricsAndHealth asserts the observability surface: request
+// counters by endpoint, gauges, health, and pprof.
+func TestMetricsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 3})
+	id := compileSession(t, ts.URL, workSrc)
+	postJSON(t, ts.URL+"/v2/profile", profileRequest{Session: id})
+	postJSON(t, ts.URL+"/v2/run", vetRequest{Session: id})
+
+	if got := metricValue(t, ts.URL, `lowutil_requests_total{endpoint="compile"}`); got != 1 {
+		t.Errorf("compile requests = %d, want 1", got)
+	}
+	if got := metricValue(t, ts.URL, `lowutil_requests_total{endpoint="profile"}`); got != 1 {
+		t.Errorf("profile requests = %d, want 1", got)
+	}
+	if got := metricValue(t, ts.URL, `lowutil_requests_total{endpoint="run"}`); got != 1 {
+		t.Errorf("run requests = %d, want 1", got)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_sessions_live"); got != 1 {
+		t.Errorf("sessions live = %d, want 1", got)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_inflight_capacity"); got != 3 {
+		t.Errorf("inflight capacity = %d, want 3", got)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_profiled_steps_total"); got <= 0 {
+		t.Errorf("profiled steps = %d, want > 0", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/debug/pprof/")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+// TestSessionEviction bounds the LRU and asserts the oldest session falls
+// out and 404s afterward.
+func TestSessionEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: 2})
+	ids := make([]string, 3)
+	for i := range ids {
+		src := strings.Replace(workSrc, "int total = 0;", fmt.Sprintf("int total = %d;", i), 1)
+		ids[i] = compileSession(t, ts.URL, src)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v2/vet", vetRequest{Session: ids[0]}); code != http.StatusNotFound {
+		t.Errorf("evicted session status = %d, want 404", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v2/vet", vetRequest{Session: ids[2]}); code != http.StatusOK {
+		t.Errorf("fresh session status = %d, want 200", code)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_session_evictions_total"); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+// TestVetAndSlice exercises the two static endpoints end to end.
+func TestVetAndSlice(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := compileSession(t, ts.URL, workSrc)
+	code, body := postJSON(t, ts.URL+"/v2/vet", vetRequest{Session: id})
+	if code != http.StatusOK {
+		t.Fatalf("vet: %d %s", code, body)
+	}
+	code, body = postJSON(t, ts.URL+"/v2/slice", sliceRequest{Session: id, Mode: "rta", Top: 5})
+	if code != http.StatusOK {
+		t.Fatalf("slice: %d %s", code, body)
+	}
+	var sr reportResponse
+	json.Unmarshal(body, &sr)
+	if !strings.Contains(sr.Report, "static slice") {
+		t.Errorf("slice report missing header: %q", sr.Report)
+	}
+}

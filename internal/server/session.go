@@ -1,0 +1,199 @@
+// Package server implements `lowutil serve`: a concurrent HTTP profiling
+// service over the lowutil facade. Long-lived sessions hold compiled
+// programs in an LRU cache; per-session profile caches memoize completed
+// profiling runs keyed by their full configuration, so repeated queries
+// skip recompilation and re-profiling. Every handler threads its request
+// context into the facade, which polls it in the interpreter main loop and
+// in every static-analysis fixpoint.
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lowutil"
+)
+
+// sessionKey derives the stable session ID for a compile request: the
+// hex-encoded SHA-256 of the entry point and source text.
+func sessionKey(src, mainClass, mainMethod string) string {
+	h := sha256.New()
+	h.Write([]byte(mainClass))
+	h.Write([]byte{0})
+	h.Write([]byte(mainMethod))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// profileKey is the complete profiling configuration a cached run is
+// memoized under. Two requests with equal keys are satisfied by one run.
+type profileKey struct {
+	Slots        int
+	TreeHeight   int
+	Traditional  bool
+	TrackControl bool
+	Prune        bool
+	Legacy       bool
+}
+
+// options expands the key into facade options.
+func (k profileKey) options() []lowutil.ProfileOption {
+	opts := []lowutil.ProfileOption{
+		lowutil.WithSlots(k.Slots),
+		lowutil.WithTreeHeight(k.TreeHeight),
+	}
+	if k.Traditional {
+		opts = append(opts, lowutil.WithTraditional())
+	}
+	if k.TrackControl {
+		opts = append(opts, lowutil.WithTrackControl())
+	}
+	if k.Prune {
+		opts = append(opts, lowutil.WithPrune())
+	}
+	if k.Legacy {
+		opts = append(opts, lowutil.WithLegacy())
+	}
+	return opts
+}
+
+// profileEntry latches one profiling run. done closes when prof/err are
+// final; mu serializes analysis queries over the shared Profile (the
+// legacy analysis path memoizes into unsynchronized maps, and serializing
+// report rendering is cheap next to the profiling run itself).
+type profileEntry struct {
+	done chan struct{}
+	prof *lowutil.Profile
+	err  error
+	mu   sync.Mutex
+}
+
+// use runs fn with exclusive access to the entry's profile.
+func (e *profileEntry) use(fn func(pr *lowutil.Profile) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fn(e.prof)
+}
+
+// Session is one compiled program plus its memoized profiling runs.
+type Session struct {
+	ID      string
+	Created time.Time
+	Prog    *lowutil.Program
+
+	mu       sync.Mutex
+	profiles map[profileKey]*profileEntry
+}
+
+// profile returns the memoized run for key, computing it under ctx on a
+// miss. The second result reports a cache hit — true whenever another
+// request already created the entry, including one still in flight (the
+// caller then waits on the latch instead of burning a second run). A run
+// aborted by cancellation is evicted so the next request retries; a waiter
+// whose own context is still live retries immediately.
+func (s *Session) profile(ctx context.Context, key profileKey) (*profileEntry, bool, error) {
+	for {
+		s.mu.Lock()
+		if s.profiles == nil {
+			s.profiles = make(map[profileKey]*profileEntry)
+		}
+		e, hit := s.profiles[key]
+		if !hit {
+			e = &profileEntry{done: make(chan struct{})}
+			s.profiles[key] = e
+		}
+		s.mu.Unlock()
+
+		if !hit {
+			e.prof, e.err = s.Prog.ProfileContext(ctx, key.options()...)
+			if e.err != nil && errors.Is(e.err, lowutil.ErrCanceled) {
+				s.mu.Lock()
+				if s.profiles[key] == e {
+					delete(s.profiles, key)
+				}
+				s.mu.Unlock()
+			}
+			close(e.done)
+			return e, false, e.err
+		}
+
+		select {
+		case <-e.done:
+			if e.err != nil && errors.Is(e.err, lowutil.ErrCanceled) && ctx.Err() == nil {
+				continue // the computing request was canceled, not this one
+			}
+			return e, true, e.err
+		case <-ctx.Done():
+			return nil, true, fmt.Errorf("%w: %w", lowutil.ErrCanceled, ctx.Err())
+		}
+	}
+}
+
+// cachedProfiles reports how many completed runs the session holds.
+func (s *Session) cachedProfiles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.profiles)
+}
+
+// sessionCache is a mutex-guarded LRU of compiled sessions.
+type sessionCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
+}
+
+func newSessionCache(max int) *sessionCache {
+	if max <= 0 {
+		max = 64
+	}
+	return &sessionCache{max: max, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the session for id, refreshing its LRU position.
+func (c *sessionCache) get(id string) (*Session, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[id]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*Session), true
+}
+
+// add inserts sess unless a session with the same ID exists (then the
+// existing one wins — the ID is content-addressed, so they are equal).
+// It reports whether an insert happened and how many sessions were evicted.
+func (c *sessionCache) add(sess *Session) (*Session, bool, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[sess.ID]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*Session), false, 0
+	}
+	c.m[sess.ID] = c.lru.PushFront(sess)
+	evicted := 0
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*Session).ID)
+		evicted++
+	}
+	return sess, true, evicted
+}
+
+// len returns the number of live sessions.
+func (c *sessionCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -20,8 +20,12 @@
 // This package is the high-level facade. Typical use:
 //
 //	prog, err := lowutil.Compile(src)
-//	profile, err := prog.Profile(lowutil.ProfileOptions{Slots: 16})
+//	profile, err := prog.ProfileContext(ctx, lowutil.WithSlots(16), lowutil.WithPrune())
 //	fmt.Println(profile.Report(10))
+//
+// The context-free Profile/Run/StaticSlice methods remain as deprecated
+// wrappers. `lowutil serve` (internal/server) exposes this facade as a
+// concurrent HTTP JSON API with session and profile caching.
 //
 // The experiment harnesses behind Table 1 and the six case studies live in
 // internal/evalharness and internal/casestudies and are driven by the
@@ -30,6 +34,7 @@ package lowutil
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -54,20 +59,22 @@ type Program struct {
 	prog *ir.Program
 }
 
-// Compile compiles MJ source with entry point Main.main.
+// Compile compiles MJ source with entry point Main.main. On failure the
+// error chain contains a *CompileError carrying the source position.
 func Compile(src string) (*Program, error) {
 	p, err := mjc.Compile(src)
 	if err != nil {
-		return nil, err
+		return nil, wrapCompileErr(err)
 	}
 	return &Program{prog: p}, nil
 }
 
-// CompileAt compiles MJ source with an explicit entry point.
+// CompileAt compiles MJ source with an explicit entry point. On failure the
+// error chain contains a *CompileError carrying the source position.
 func CompileAt(src, mainClass, mainMethod string) (*Program, error) {
 	p, err := mjc.CompileAt(src, mainClass, mainMethod)
 	if err != nil {
-		return nil, err
+		return nil, wrapCompileErr(err)
 	}
 	return &Program{prog: p}, nil
 }
@@ -132,7 +139,23 @@ type SliceOptions struct {
 // could produce is contained in the static edge sets (the soundness
 // invariant cross-validated by the differential harness). Output is
 // byte-stable across runs.
+// StaticSlice is the v1 entry point for the static slice.
+//
+// Deprecated: use StaticSliceContext, which adds cancellation and
+// functional options. This wrapper remains so existing callers compile.
 func (p *Program) StaticSlice(opts SliceOptions) (string, error) {
+	return p.staticSlice(context.Background(), opts)
+}
+
+// StaticSliceContext builds the whole-program static thin slice under ctx
+// — fixpoint loops poll the context, so deadlines and cancellation abort
+// the analysis promptly with an ErrCanceled-wrapped error. Options fold
+// over the defaults (mode rta, top DefaultTop).
+func (p *Program) StaticSliceContext(ctx context.Context, opts ...SliceOption) (string, error) {
+	return p.staticSlice(ctx, applySliceOptions(opts))
+}
+
+func (p *Program) staticSlice(ctx context.Context, opts SliceOptions) (string, error) {
 	cfg := interproc.Config{Mode: interproc.RTA, ObjCtx: opts.ObjCtx}
 	switch opts.Mode {
 	case "", "rta":
@@ -143,9 +166,13 @@ func (p *Program) StaticSlice(opts SliceOptions) (string, error) {
 	}
 	top := opts.Top
 	if top <= 0 {
-		top = 10
+		top = DefaultTop
 	}
-	return interproc.Analyze(p.prog, cfg).Report(top), nil
+	an, err := interproc.AnalyzeContext(ctx, p.prog, cfg)
+	if err != nil {
+		return "", wrapRunErr("slice", err)
+	}
+	return an.Report(top), nil
 }
 
 // RunResult summarizes an uninstrumented execution.
@@ -161,10 +188,21 @@ type RunResult struct {
 }
 
 // Run executes the program without instrumentation.
+//
+// Deprecated: use RunContext, which adds cancellation. This wrapper
+// remains so existing callers compile.
 func (p *Program) Run() (*RunResult, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the program without instrumentation under ctx; the
+// interpreter main loop polls the context periodically, so cancellation
+// stops the run promptly with an ErrCanceled-wrapped error.
+func (p *Program) RunContext(ctx context.Context) (*RunResult, error) {
 	m := interp.New(p.prog)
+	m.Ctx = ctx
 	if err := m.Run(); err != nil {
-		return nil, err
+		return nil, wrapRunErr("run", err)
 	}
 	return &RunResult{Output: m.Output, Steps: m.Steps, Allocs: m.Allocs, NativeWork: m.NativeWork}, nil
 }
@@ -199,10 +237,33 @@ type ProfileOptions struct {
 	LegacyAnalysis bool
 	// AnalysisWorkers bounds the ranking worker pool (0 = all CPUs).
 	AnalysisWorkers int
+	// MaxSteps bounds the profiled execution to this many instruction
+	// instances (0 = unlimited); exceeding it fails the run.
+	MaxSteps int64
 }
 
 // Profile runs the program under the cost-benefit profiler.
+//
+// Deprecated: use ProfileContext, which adds cancellation and functional
+// options. This wrapper remains so existing callers compile.
 func (p *Program) Profile(opts ProfileOptions) (*Profile, error) {
+	return p.profile(context.Background(), opts)
+}
+
+// ProfileContext runs the program under the cost-benefit profiler with
+// options folded over DefaultOptions:
+//
+//	profile, err := prog.ProfileContext(ctx, lowutil.WithSlots(16), lowutil.WithPrune())
+//
+// The interpreter main loop and the pre-analysis fixpoints poll ctx, so a
+// canceled or expired context aborts the run promptly with an error that
+// satisfies errors.Is(err, ErrCanceled) — and errors.Is(err,
+// context.Canceled) or context.DeadlineExceeded as appropriate.
+func (p *Program) ProfileContext(ctx context.Context, opts ...ProfileOption) (*Profile, error) {
+	return p.profile(ctx, applyProfileOptions(opts))
+}
+
+func (p *Program) profile(ctx context.Context, opts ProfileOptions) (*Profile, error) {
 	prof := profiler.New(p.prog, profiler.Options{
 		Slots:        opts.Slots,
 		Traditional:  opts.Traditional,
@@ -211,12 +272,17 @@ func (p *Program) Profile(opts ProfileOptions) (*Profile, error) {
 	})
 	m := interp.New(p.prog)
 	m.Tracer = prof
+	m.Ctx = ctx
+	m.MaxSteps = opts.MaxSteps
 	if opts.StaticPrune && !opts.Traditional {
-		an := interproc.Analyze(p.prog, interproc.Config{Mode: interproc.RTA})
+		an, err := interproc.AnalyzeContext(ctx, p.prog, interproc.Config{Mode: interproc.RTA})
+		if err != nil {
+			return nil, wrapRunErr("prune", err)
+		}
 		m.Prune, _ = staticanalysis.PruneSetWith(p.prog, an.Sum)
 	}
 	if err := m.Run(); err != nil {
-		return nil, err
+		return nil, wrapRunErr("run", err)
 	}
 	height := opts.TreeHeight
 	if height <= 0 {

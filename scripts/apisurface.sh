@@ -1,0 +1,33 @@
+#!/bin/sh
+# Public-API pin: diffs the rendered documentation of the root lowutil
+# package against the checked-in golden, so accidental additions, removals,
+# or signature changes to the exported surface fail `make check`.
+#
+# After an intended API change, regenerate with:
+#   sh scripts/apisurface.sh -update
+set -e
+cd "$(dirname "$0")/.."
+
+GOLDEN=scripts/apisurface.golden
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go doc -all . > "$TMP"
+
+if [ "$1" = "-update" ]; then
+    cp "$TMP" "$GOLDEN"
+    echo "apisurface: golden updated ($(wc -l < "$GOLDEN") lines)"
+    exit 0
+fi
+
+if [ ! -f "$GOLDEN" ]; then
+    echo "apisurface: missing $GOLDEN; run: sh scripts/apisurface.sh -update" >&2
+    exit 1
+fi
+
+if ! diff -u "$GOLDEN" "$TMP"; then
+    echo "apisurface: public API surface changed." >&2
+    echo "If intended, regenerate with: sh scripts/apisurface.sh -update" >&2
+    exit 1
+fi
+echo "apisurface: OK"

@@ -10,7 +10,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 IDX="${1:-3}"
-BENCH="${BENCH:-BenchmarkCostBenefitAnalysis|BenchmarkDeadness|BenchmarkOverhead|BenchmarkInterpreterRaw|BenchmarkPointsTo|BenchmarkStaticSlice|BenchmarkInterprocPrune}"
+BENCH="${BENCH:-BenchmarkCostBenefitAnalysis|BenchmarkDeadness|BenchmarkOverhead|BenchmarkInterpreterRaw|BenchmarkPointsTo|BenchmarkStaticSlice|BenchmarkInterprocPrune|BenchmarkCancelCheck}"
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_${IDX}.json}"
 

@@ -14,6 +14,9 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+# Public-API pin: the exported surface of the root package must match the
+# checked-in golden (scripts/apisurface.golden).
+sh scripts/apisurface.sh
 # Static-analysis gates, run explicitly so a failure names the gate: the
 # vet lint suite over all 18 workloads against its golden files, and the
 # static-vs-dynamic Gcost containment harness (-short subset — the full
