@@ -26,6 +26,7 @@ import (
 	"lowutil/internal/ir"
 	"lowutil/internal/mjc"
 	"lowutil/internal/profiler"
+	"lowutil/internal/ssa"
 	"lowutil/internal/staticanalysis"
 	"lowutil/internal/taint"
 	"lowutil/internal/testprogs"
@@ -377,6 +378,88 @@ func BenchmarkInterprocPrune(b *testing.B) {
 			if _, st := staticanalysis.PruneSetWith(prog, an.Sum); st.Candidates == 0 {
 				b.Fatal("no candidates")
 			}
+		}
+	})
+}
+
+// ---- SSA pipeline costs: construction, sparse conditional constant
+// propagation, and the loop forest with trip inference — the machinery
+// behind the frequency-weighted static bounds and the SSA vet engine. ----
+
+func BenchmarkSSAConstruct(b *testing.B) {
+	prog := mustCompileWorkload(b, "eclipse")
+	b.ReportAllocs()
+	vals := 0
+	for i := 0; i < b.N; i++ {
+		vals = 0
+		for _, c := range prog.Classes {
+			for _, m := range c.Methods {
+				vals += ssa.Build(m, nil).NumVals()
+			}
+		}
+	}
+	b.ReportMetric(float64(vals), "ssa_vals")
+}
+
+func BenchmarkSCCP(b *testing.B) {
+	prog := mustCompileWorkload(b, "eclipse")
+	var funcs []*ssa.Func
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			funcs = append(funcs, ssa.Build(m, nil))
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	consts := 0
+	for i := 0; i < b.N; i++ {
+		consts = 0
+		for _, f := range funcs {
+			consts += ssa.RunSCCP(f).NumConsts()
+		}
+	}
+	b.ReportMetric(float64(consts), "consts")
+}
+
+func BenchmarkLoopForest(b *testing.B) {
+	prog := mustCompileWorkload(b, "eclipse")
+	type pair struct {
+		f  *ssa.Func
+		sc *ssa.SCCP
+	}
+	var pairs []pair
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			f := ssa.Build(m, nil)
+			pairs = append(pairs, pair{f, ssa.RunSCCP(f)})
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	loops := 0
+	for i := 0; i < b.N; i++ {
+		loops = 0
+		for _, p := range pairs {
+			loops += len(ssa.BuildForest(p.f, p.sc).Loops)
+		}
+	}
+	b.ReportMetric(float64(loops), "loops")
+}
+
+// BenchmarkVetEngines compares the SSA vet engine against the dense
+// bit-vector reference over the same workload.
+func BenchmarkVetEngines(b *testing.B) {
+	prog := mustCompileWorkload(b, "eclipse")
+	b.Run("ssa", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			staticanalysis.Vet(prog)
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			staticanalysis.VetDense(prog)
 		}
 	})
 }

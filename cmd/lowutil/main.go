@@ -5,7 +5,8 @@
 //
 //	lowutil run        prog.mj          execute and print the program output
 //	lowutil disasm     prog.mj          print the three-address code
-//	lowutil vet        prog.mj          static diagnostics, no execution
+//	lowutil vet        [flags] prog.mj  static diagnostics, no execution
+//	lowutil ssa        [flags] prog.mj  dump SSA form with SCCP and loop info
 //	lowutil slice      [flags] prog.mj  interprocedural static thin slice
 //	lowutil profile    [flags] prog.mj  rank low-utility data structures
 //	lowutil nullcheck  prog.mj          diagnose a NullPointerException
@@ -27,7 +28,15 @@
 //
 // vet reports, without running the program: dead stores, write-only fields,
 // unused allocations, unreachable code, and possibly-uninitialized reads.
-// It exits 1 when it finds anything.
+// It exits 1 when it finds anything. -engine selects the analysis engine:
+// ssa (default: sparse analyses over SSA form, which also flag transitively
+// dead stores and constant-propagation-unreachable code) or dense (the
+// bit-vector reaching-definitions reference).
+//
+// ssa dumps the pruned SSA form of every method (-m Class.method for one):
+// phi placement, SCCP constant and dead-block verdicts, value-numbering
+// redundancies, and the loop forest with inferred trip counts and static
+// frequency weights.
 package main
 
 import (
@@ -53,6 +62,8 @@ func main() {
 		err = cmdDisasm(args)
 	case "vet":
 		err = cmdVet(args)
+	case "ssa":
+		err = cmdSSA(args)
 	case "slice":
 		err = cmdSlice(args)
 	case "profile":
@@ -84,7 +95,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lowutil <command> [flags] <file.mj>
-commands: run, disasm, vet, slice, profile, nullcheck, copies, predicates, overwrites, caches, serve`)
+commands: run, disasm, vet, ssa, slice, profile, nullcheck, copies, predicates, overwrites, caches, serve`)
 }
 
 func compileFile(path string) (*lowutil.Program, error) {
@@ -142,6 +153,7 @@ func cmdDisasm(args []string) error {
 
 func cmdVet(args []string) error {
 	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	engine := fs.String("engine", "ssa", "analysis engine: ssa (sparse, SSA-based) or dense (bit-vector reference)")
 	path, err := oneFile(fs, args)
 	if err != nil {
 		return err
@@ -150,7 +162,10 @@ func cmdVet(args []string) error {
 	if err != nil {
 		return err
 	}
-	findings := prog.Vet()
+	findings, err := prog.VetEngine(*engine)
+	if err != nil {
+		return err
+	}
 	if len(findings) == 0 {
 		fmt.Println("no findings")
 		return nil
@@ -159,6 +174,25 @@ func cmdVet(args []string) error {
 		fmt.Println(f.Message)
 	}
 	return fmt.Errorf("%d finding(s)", len(findings))
+}
+
+func cmdSSA(args []string) error {
+	fs := flag.NewFlagSet("ssa", flag.ContinueOnError)
+	method := fs.String("m", "", "dump only this method (Class.method); default all")
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	dump, err := prog.SSADump(*method)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dump)
+	return nil
 }
 
 func cmdSlice(args []string) error {

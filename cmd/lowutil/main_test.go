@@ -103,6 +103,27 @@ func TestCmdSlice(t *testing.T) {
 	}
 }
 
+// TestCmdVetAndSSA drives the vet engines and the SSA dump command.
+func TestCmdVetAndSSA(t *testing.T) {
+	// chart.mj is vet-clean under both engines; a finding would surface as
+	// a non-nil "N finding(s)" error.
+	if err := cmdVet([]string{chartMJ}); err != nil && !strings.Contains(err.Error(), "finding") {
+		t.Fatalf("vet: %v", err)
+	}
+	if err := cmdVet([]string{"-engine", "dense", chartMJ}); err != nil && !strings.Contains(err.Error(), "finding") {
+		t.Fatalf("vet -engine dense: %v", err)
+	}
+	if err := cmdVet([]string{"-engine", "bogus", chartMJ}); err == nil {
+		t.Error("want unknown-engine error")
+	}
+	if err := cmdSSA([]string{chartMJ}); err != nil {
+		t.Fatalf("ssa: %v", err)
+	}
+	if err := cmdSSA([]string{"-m", "No.such", chartMJ}); err == nil {
+		t.Error("want unknown-method error")
+	}
+}
+
 func TestCmdErrors(t *testing.T) {
 	if err := cmdRun([]string{"testdata/missing.mj"}); err == nil {
 		t.Error("want missing-file error")

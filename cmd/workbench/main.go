@@ -7,6 +7,8 @@
 //	workbench -run chart -scale 4
 //	workbench -profile eclipse -scale 2 -s 16 -top 10
 //	workbench -slice eclipse -mode rta -objctx -top 10
+//	workbench -vet bloat -engine ssa
+//	workbench -ssa fop -m TreeGen.gen
 //	workbench -dump bloat > bloat.mj
 package main
 
@@ -24,12 +26,16 @@ func main() {
 	run := flag.String("run", "", "execute the named workload")
 	profileName := flag.String("profile", "", "profile the named workload and print the report")
 	sliceName := flag.String("slice", "", "print the named workload's static thin-slice report (no execution)")
+	vetName := flag.String("vet", "", "run the static vet suite on the named workload (no execution)")
+	ssaName := flag.String("ssa", "", "dump the named workload's SSA form with SCCP and loop info")
 	dump := flag.String("dump", "", "print the named workload's MJ source")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	slots := flag.Int("s", lowutil.DefaultSlots, "context slots")
 	top := flag.Int("top", lowutil.DefaultTop, "findings to print")
 	mode := flag.String("mode", "rta", "slice call-graph construction: cha or rta")
 	objctx := flag.Bool("objctx", false, "slice with one level of receiver-object context")
+	engine := flag.String("engine", "ssa", "vet engine: ssa or dense")
+	method := flag.String("m", "", "restrict -ssa to one method (Class.method)")
 	flag.Parse()
 
 	switch {
@@ -67,6 +73,26 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Print(rep)
+	case *vetName != "":
+		prog := compile(*vetName, *scale)
+		findings, err := prog.VetEngine(*engine)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(findings) == 0 {
+			fmt.Println("no findings")
+			return
+		}
+		for _, f := range findings {
+			fmt.Println(f.Message)
+		}
+	case *ssaName != "":
+		prog := compile(*ssaName, *scale)
+		out, err := prog.SSADump(*method)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(out)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -17,6 +17,13 @@ type Analysis struct {
 	PT    *PointsTo
 	Sum   *Summaries
 	Slice *StaticGraph
+
+	// Freq estimates each instruction's execution frequency (indexed by
+	// Instr.ID) from the loop-nest forest with SCCP trip-count bounds: 0 for
+	// statically proven-dead code, otherwise the product of enclosing loops'
+	// trip counts (ssa.DefaultTrip per unbounded loop). Feeds
+	// Slice.BoundsWeighted.
+	Freq []float64
 }
 
 // Analyze runs the full pipeline over prog under cfg.
@@ -58,6 +65,9 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, cfg Config) (*Analysi
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return &Analysis{
 		Prog:  prog,
 		Cfg:   cfg,
@@ -65,8 +75,13 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, cfg Config) (*Analysi
 		PT:    pt,
 		Sum:   sum,
 		Slice: slice,
+		Freq:  ipcpWeights(cg),
 	}, nil
 }
+
+// Bounds returns the frequency-weighted static cost/benefit bounds — the
+// default ranking. Use Slice.Bounds for the unweighted PR 3 bounds.
+func (a *Analysis) Bounds() []LocBound { return a.Slice.BoundsWeighted(a.Freq) }
 
 // LocName renders an abstract location for reports: the qualified static
 // field, or the allocation site (with its context qualifier) plus field.
@@ -109,7 +124,7 @@ func (a *Analysis) Report(top int) string {
 	fmt.Fprintf(&b, "  static Gcost: %d dep edges, %d ref edges, %d child edges\n",
 		a.Slice.NumDeps(), a.Slice.NumRefs(), a.Slice.NumChildren())
 
-	bounds := a.Slice.Bounds()
+	bounds := a.Bounds()
 	writeOnly := 0
 	for i := range bounds {
 		if bounds[i].WriteOnly() {
@@ -120,7 +135,7 @@ func (a *Analysis) Report(top int) string {
 	if top > len(bounds) {
 		top = len(bounds)
 	}
-	fmt.Fprintf(&b, "  top %d candidates by static cost/benefit bound:\n", top)
+	fmt.Fprintf(&b, "  top %d candidates by frequency-weighted static cost/benefit bound:\n", top)
 	for i := 0; i < top; i++ {
 		lb := &bounds[i]
 		tag := ""
@@ -130,8 +145,8 @@ func (a *Analysis) Report(top int) string {
 		case lb.Consumed:
 			tag = " consumed"
 		}
-		fmt.Fprintf(&b, "  %3d. %-52s cost<=%-5d benefit<=%-5d stores=%d loads=%d%s\n",
-			i+1, a.LocName(lb.Key), lb.CostBound, lb.BenefitBound, lb.Stores, lb.Loads, tag)
+		fmt.Fprintf(&b, "  %3d. %-52s cost<=%-5d benefit<=%-5d wcost=%-9.4g wbenefit=%-9.4g stores=%d loads=%d%s\n",
+			i+1, a.LocName(lb.Key), lb.CostBound, lb.BenefitBound, lb.WCost, lb.WBenefit, lb.Stores, lb.Loads, tag)
 	}
 	return b.String()
 }

@@ -364,6 +364,13 @@ type LocBound struct {
 	// Consumed reports whether any forward path reaches a predicate or
 	// native consumer — a statically non-zero benefit witness.
 	Consumed bool
+
+	// WCost and WBenefit are the frequency-weighted counterparts of
+	// CostBound and BenefitBound: each sliced instruction contributes its
+	// loop-nest execution-frequency estimate instead of 1. Under
+	// BoundsWeighted(nil) every instruction weighs 1 and WCost == CostBound.
+	WCost    float64
+	WBenefit float64
 }
 
 // WriteOnly reports a location with stores but no may-alias load — the
@@ -373,8 +380,26 @@ func (b *LocBound) WriteOnly() bool { return b.Stores > 0 && b.Loads == 0 }
 // Bounds computes the static cost/benefit bound of every stored-to abstract
 // location, ranked: write-only locations first (by cost bound descending),
 // then by cost-per-benefit descending, ties broken by location key so the
-// order is deterministic.
-func (sg *StaticGraph) Bounds() []LocBound {
+// order is deterministic. Every instruction weighs 1 — see BoundsWeighted.
+func (sg *StaticGraph) Bounds() []LocBound { return sg.BoundsWeighted(nil) }
+
+// BoundsWeighted is Bounds under a static execution-frequency estimate: freq
+// maps every instruction ID to its loop-nest frequency weight (ssa.Weights).
+// The weights tighten the bounds in two ways, both sound with respect to the
+// dynamic-graph containment invariant:
+//
+//   - an instruction with weight 0 is statically proven never to execute
+//     (CFG-unreachable, or dead under sparse conditional constant
+//     propagation), so no dynamic node corresponds to it and the traversals
+//     skip it outright — the counted bounds can only shrink;
+//   - WCost/WBenefit accumulate each sliced instruction's frequency instead
+//     of 1, so a store whose backward slice sits inside a hot loop nest
+//     outranks an equal-sized slice of straight-line setup code, mirroring
+//     the dynamic cost's per-execution accounting.
+//
+// A nil freq means every instruction weighs 1 (and nothing is skipped), which
+// reproduces the unweighted Bounds exactly.
+func (sg *StaticGraph) BoundsWeighted(freq []float64) []LocBound {
 	locs := make([]Loc, 0, len(sg.locStores))
 	for l := range sg.locStores {
 		locs = append(locs, l)
@@ -384,8 +409,8 @@ func (sg *StaticGraph) Bounds() []LocBound {
 	out := make([]LocBound, 0, len(locs))
 	for _, l := range locs {
 		b := LocBound{Key: l, Stores: len(sg.locStores[l]), Loads: len(sg.locLoads[l])}
-		b.CostBound = sg.backwardBound(sg.locStores[l])
-		b.BenefitBound, b.Consumed = sg.forwardBound(sg.locLoads[l])
+		b.CostBound, b.WCost = sg.backwardBound(sg.locStores[l], freq)
+		b.BenefitBound, b.WBenefit, b.Consumed = sg.forwardBound(sg.locLoads[l], freq)
 		out = append(out, b)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
@@ -393,8 +418,8 @@ func (sg *StaticGraph) Bounds() []LocBound {
 		if a.WriteOnly() != b.WriteOnly() {
 			return a.WriteOnly()
 		}
-		ra := float64(a.CostBound) / float64(1+a.BenefitBound)
-		rb := float64(b.CostBound) / float64(1+b.BenefitBound)
+		ra := a.WCost / (1 + a.WBenefit)
+		rb := b.WCost / (1 + b.WBenefit)
 		if ra != rb {
 			return ra > rb
 		}
@@ -403,14 +428,26 @@ func (sg *StaticGraph) Bounds() []LocBound {
 	return out
 }
 
+// weightOf resolves an instruction's frequency weight: 1 everywhere when no
+// estimate was supplied.
+func weightOf(freq []float64, id int32) float64 {
+	if freq == nil {
+		return 1
+	}
+	return freq[id]
+}
+
 // backwardBound counts the backward thin slice from the given stores,
-// stopping at heap readers after counting them (the static HRAC).
-func (sg *StaticGraph) backwardBound(stores []*ir.Instr) int {
+// stopping at heap readers after counting them (the static HRAC), skipping
+// weight-0 (proven-dead) instructions, and summing frequency weights.
+func (sg *StaticGraph) backwardBound(stores []*ir.Instr, freq []float64) (int, float64) {
 	seen := make(map[int32]bool)
+	wsum := 0.0
 	var work []int32
 	push := func(id int32) {
-		if !seen[id] {
+		if !seen[id] && weightOf(freq, id) > 0 {
 			seen[id] = true
+			wsum += weightOf(freq, id)
 			work = append(work, id)
 		}
 	}
@@ -428,19 +465,22 @@ func (sg *StaticGraph) backwardBound(stores []*ir.Instr) int {
 			push(d)
 		}
 	}
-	return len(seen)
+	return len(seen), wsum
 }
 
 // forwardBound counts the forward value flow from the given loads, stopping
-// at consumers and heap writers after counting them (the static HRAB), and
+// at consumers and heap writers after counting them (the static HRAB),
+// skipping weight-0 instructions and summing frequency weights; it also
 // reports whether a consumer was reached.
-func (sg *StaticGraph) forwardBound(loads []*ir.Instr) (int, bool) {
+func (sg *StaticGraph) forwardBound(loads []*ir.Instr, freq []float64) (int, float64, bool) {
 	seen := make(map[int32]bool)
+	wsum := 0.0
 	consumed := false
 	var work []int32
 	push := func(id int32) {
-		if !seen[id] {
+		if !seen[id] && weightOf(freq, id) > 0 {
 			seen[id] = true
+			wsum += weightOf(freq, id)
 			work = append(work, id)
 		}
 	}
@@ -462,5 +502,5 @@ func (sg *StaticGraph) forwardBound(loads []*ir.Instr) (int, bool) {
 			push(u)
 		}
 	}
-	return len(seen), consumed
+	return len(seen), wsum, consumed
 }

@@ -2,6 +2,39 @@ package ir
 
 import "fmt"
 
+// Validate checks structural well-formedness of p's method bodies. Seal runs
+// it automatically; transformation passes that rewrite bodies in place (SSA
+// destruction) call it again, after Reindex, to prove the rewritten program
+// is still well formed.
+func Validate(p *Program) error { return p.validate() }
+
+// Reindex rebuilds the program-wide instruction metadata after method bodies
+// have been rewritten in place: Instrs, AllocSites, and every instruction's
+// ID, PC, Method back-pointer and AllocSite index are recomputed with the
+// same numbering scheme Seal uses. Class, method and field IDs are untouched
+// (passes may not add or remove declarations, only rewrite bodies).
+func (p *Program) Reindex() {
+	p.Instrs = p.Instrs[:0]
+	p.AllocSites = p.AllocSites[:0]
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			for i := range m.Code {
+				in := &m.Code[i]
+				in.ID = len(p.Instrs)
+				in.Method = m
+				in.PC = i
+				if in.IsAlloc() {
+					in.AllocSite = len(p.AllocSites)
+					p.AllocSites = append(p.AllocSites, in)
+				} else {
+					in.AllocSite = -1
+				}
+				p.Instrs = append(p.Instrs, in)
+			}
+		}
+	}
+}
+
 // validate checks structural well-formedness of every method body: branch
 // targets in range, operand slots in range, bodies terminated, calls
 // argument-count-consistent. It does not type-check locals (the MJ front end

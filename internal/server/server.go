@@ -70,6 +70,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v2/report", s.instrument("report", true, s.handleReport))
 	s.mux.HandleFunc("POST /v2/slice", s.instrument("slice", true, s.handleSlice))
 	s.mux.HandleFunc("POST /v2/vet", s.instrument("vet", false, s.handleVet))
+	s.mux.HandleFunc("POST /v2/ssa", s.instrument("ssa", false, s.handleSSA))
 	s.mux.HandleFunc("POST /v2/run", s.instrument("run", true, s.handleRun))
 	s.mux.HandleFunc("POST /v2/profile/save", s.instrument("save", true, s.handleSave))
 	s.mux.HandleFunc("POST /v2/profile/load", s.instrument("load", true, s.handleLoad))
@@ -285,11 +286,25 @@ type sliceRequest struct {
 
 type vetRequest struct {
 	Session string `json:"session"`
+	// Engine selects the vet analysis engine: "ssa" (default) or "dense".
+	Engine string `json:"engine,omitempty"`
 }
 
 type vetResponse struct {
 	Session  string   `json:"session"`
+	Engine   string   `json:"engine"`
 	Findings []string `json:"findings"`
+}
+
+type ssaRequest struct {
+	Session string `json:"session"`
+	// Method restricts the dump to one "Class.method"; empty dumps all.
+	Method string `json:"method,omitempty"`
+}
+
+type ssaResponse struct {
+	Session string `json:"session"`
+	Dump    string `json:"dump"`
 }
 
 type runResponse struct {
@@ -449,11 +464,35 @@ func (s *Server) handleVet(ctx context.Context, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	fs, err := sess.Prog.VetEngine(req.Engine)
+	if err != nil {
+		return nil, &badRequestError{err}
+	}
 	findings := []string{}
-	for _, f := range sess.Prog.Vet() {
+	for _, f := range fs {
 		findings = append(findings, f.Message)
 	}
-	return vetResponse{Session: sess.ID, Findings: findings}, nil
+	engine := req.Engine
+	if engine == "" {
+		engine = "ssa"
+	}
+	return vetResponse{Session: sess.ID, Engine: engine, Findings: findings}, nil
+}
+
+func (s *Server) handleSSA(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[ssaRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	dump, err := sess.Prog.SSADump(req.Method)
+	if err != nil {
+		return nil, &badRequestError{err}
+	}
+	return ssaResponse{Session: sess.ID, Dump: dump}, nil
 }
 
 func (s *Server) handleRun(ctx context.Context, r *http.Request) (any, error) {

@@ -406,3 +406,37 @@ func TestVetAndSlice(t *testing.T) {
 		t.Errorf("slice report missing header: %q", sr.Report)
 	}
 }
+
+// TestVetEngineAndSSA covers the vet engine selector and the SSA dump
+// endpoint: both engines answer, an unknown engine 400s, and the dump
+// carries SSA structure.
+func TestVetEngineAndSSA(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := compileSession(t, ts.URL, workSrc)
+	for _, engine := range []string{"", "ssa", "dense"} {
+		code, body := postJSON(t, ts.URL+"/v2/vet", vetRequest{Session: id, Engine: engine})
+		if code != http.StatusOK {
+			t.Fatalf("vet engine %q: %d %s", engine, code, body)
+		}
+		var vr vetResponse
+		json.Unmarshal(body, &vr)
+		if engine != "dense" && vr.Engine != "ssa" {
+			t.Errorf("engine %q echoed as %q, want ssa", engine, vr.Engine)
+		}
+	}
+	if code, body := postJSON(t, ts.URL+"/v2/vet", vetRequest{Session: id, Engine: "nope"}); code != http.StatusBadRequest {
+		t.Errorf("unknown engine: %d %s, want 400", code, body)
+	}
+	code, body := postJSON(t, ts.URL+"/v2/ssa", ssaRequest{Session: id})
+	if code != http.StatusOK {
+		t.Fatalf("ssa: %d %s", code, body)
+	}
+	var dr ssaResponse
+	json.Unmarshal(body, &dr)
+	if !strings.Contains(dr.Dump, "phi(") && !strings.Contains(dr.Dump, "blocks=") {
+		t.Errorf("ssa dump lacks SSA structure: %.200q", dr.Dump)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v2/ssa", ssaRequest{Session: id, Method: "No.such"}); code != http.StatusBadRequest {
+		t.Errorf("unknown method should 400, got %d", code)
+	}
+}

@@ -1,0 +1,120 @@
+package ssa
+
+import (
+	"testing"
+
+	"lowutil/internal/ir"
+)
+
+// TestCopyPropChain: a chain of moves collapses to the original value.
+func TestCopyPropChain(t *testing.T) {
+	var srcPC, endPC int
+	_, m := buildMain(t, 0, func(_ *ir.Builder, bb *ir.BodyBuilder) {
+		srcPC = bb.Const(0, 5)
+		bb.Move(1, 0)
+		bb.Move(2, 1)
+		endPC = bb.Move(3, 2)
+		bb.Native(-1, ir.NativePrint, 3)
+		bb.ReturnVoid()
+	})
+	f := Build(m, nil)
+	rep := CopyProp(f)
+	if rep[f.DefOf[endPC]] != f.DefOf[srcPC] {
+		t.Fatalf("move chain: rep=%s, want %s", f.Name(rep[f.DefOf[endPC]]), f.Name(f.DefOf[srcPC]))
+	}
+}
+
+// TestCopyPropPhiCycle: a loop that only shuffles a value through moves and a
+// phi collapses the phi onto the original value.
+func TestCopyPropPhiCycle(t *testing.T) {
+	var srcPC, usePC int
+	_, m := buildMain(t, 0, func(_ *ir.Builder, bb *ir.BodyBuilder) {
+		srcPC = bb.Const(0, 5) // x
+		bb.Const(1, 0)         // i
+		bb.Const(2, 3)         // n
+		bb.Const(3, 1)         // one
+		head := bb.PC()
+		exit := bb.If(1, ir.Ge, 2, 0)
+		bb.Move(4, 0) // t = x
+		bb.Move(0, 4) // x = t (x is loop-carried but always the same value)
+		bb.Bin(1, ir.Add, 1, 3)
+		bb.Goto(head)
+		bb.Patch(exit, bb.PC())
+		usePC = bb.Native(-1, ir.NativePrint, 0)
+		bb.ReturnVoid()
+	})
+	f := Build(m, nil)
+	rep := CopyProp(f)
+	xAtUse := f.Operands[usePC][0]
+	if rep[xAtUse] != f.DefOf[srcPC] {
+		t.Fatalf("phi-of-copies: rep=%s, want %s", f.Name(rep[xAtUse]), f.Name(f.DefOf[srcPC]))
+	}
+}
+
+// TestValueNumbersRedundantAdd: two identical adds where the first dominates
+// the second get one number; a non-dominating pair keeps separate numbers.
+func TestValueNumbersRedundantAdd(t *testing.T) {
+	var firstPC, secondPC int
+	_, m := buildMain(t, 1, func(_ *ir.Builder, bb *ir.BodyBuilder) {
+		bb.Const(1, 3)
+		firstPC = bb.Bin(2, ir.Add, 0, 1)
+		secondPC = bb.Bin(3, ir.Add, 1, 0) // commutative: same computation
+		bb.Native(-1, ir.NativePrint, 2)
+		bb.Native(-1, ir.NativePrint, 3)
+		bb.ReturnVoid()
+	})
+	f := Build(m, nil)
+	vn := ValueNumbers(f, nil)
+	if vn[f.DefOf[secondPC]] != f.DefOf[firstPC] {
+		t.Fatalf("commutative redundant add not numbered: %s vs %s",
+			f.Name(vn[f.DefOf[secondPC]]), f.Name(f.DefOf[firstPC]))
+	}
+}
+
+// TestValueNumbersScoping: computations in sibling branches must not share a
+// number (neither dominates the other).
+func TestValueNumbersScoping(t *testing.T) {
+	var thenPC, elsePC int
+	_, m := buildMain(t, 1, func(_ *ir.Builder, bb *ir.BodyBuilder) {
+		bb.Const(1, 3)
+		j := bb.If(0, ir.Gt, 1, 0)
+		elsePC = bb.Bin(2, ir.Add, 0, 1)
+		g := bb.Goto(0)
+		bb.Patch(j, bb.PC())
+		thenPC = bb.Bin(2, ir.Add, 0, 1)
+		bb.Patch(g, bb.PC())
+		bb.Native(-1, ir.NativePrint, 2)
+		bb.ReturnVoid()
+	})
+	f := Build(m, nil)
+	vn := ValueNumbers(f, nil)
+	tv, ev := f.DefOf[thenPC], f.DefOf[elsePC]
+	if vn[tv] == vn[ev] {
+		t.Fatal("sibling-branch computations share a value number")
+	}
+	if vn[tv] != tv || vn[ev] != ev {
+		t.Fatal("non-redundant computations should keep their own number")
+	}
+}
+
+// TestValueNumbersImpureNotNumbered: loads and allocations never merge.
+func TestValueNumbersImpureNotNumbered(t *testing.T) {
+	var aPC, bPC int
+	_, m := buildMain(t, 0, func(bd *ir.Builder, bb *ir.BodyBuilder) {
+		cls := bd.Class("Box", nil)
+		fld := bd.Field(cls, "v", ir.IntType)
+		bb.New(0, cls)
+		bb.Const(1, 1)
+		bb.StoreField(0, fld, 1)
+		aPC = bb.LoadField(2, 0, fld)
+		bPC = bb.LoadField(3, 0, fld)
+		bb.Native(-1, ir.NativePrint, 2)
+		bb.Native(-1, ir.NativePrint, 3)
+		bb.ReturnVoid()
+	})
+	f := Build(m, nil)
+	vn := ValueNumbers(f, nil)
+	if vn[f.DefOf[bPC]] == f.DefOf[aPC] {
+		t.Fatal("heap loads must not be value-numbered (stores may intervene)")
+	}
+}

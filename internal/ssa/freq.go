@@ -1,0 +1,86 @@
+package ssa
+
+import "lowutil/internal/ir"
+
+// The symbolic cost model: per-instruction static execution-frequency
+// weights. PR 3's static Gcost bounds count every instruction once; the
+// paper's dynamic RAC/RAB are dominated by loop-resident instructions, so
+// ranking by frequency-blind bounds misorders structures badly. The weight
+// of an instruction here is
+//
+//	0                                  when it can never execute
+//	                                   (CFG-unreachable or SCCP-proven dead),
+//	Π trip(L) over enclosing loops L   otherwise,
+//
+// with trip(L) the exact SCCP-derived trip count where the loop is counted
+// with constant bounds, and DefaultTrip for unknown loops — the "loop
+// depth^k" heuristic of the issue, exact where trip counts are constant.
+// Only the 0 case claims soundness (those instructions provably never run);
+// positive weights are ranking heuristics.
+
+// DefaultTrip is the assumed trip count of a loop whose bounds SCCP cannot
+// resolve.
+const DefaultTrip = 10
+
+// MaxWeight caps the frequency product so pathological nests cannot
+// overflow or drown the ranking.
+const MaxWeight = 1e12
+
+// MethodInfo bundles the per-method SSA products the weight computation
+// (and its dump/debug clients) derive.
+type MethodInfo struct {
+	F      *Func
+	SCCP   *SCCP
+	Forest *Forest
+}
+
+// AnalyzeMethod builds SSA, SCCP and the loop forest for one method.
+func AnalyzeMethod(m *ir.Method) *MethodInfo { return AnalyzeMethodSeeded(m, nil) }
+
+// AnalyzeMethodSeeded is AnalyzeMethod with interprocedural parameter facts
+// seeding the SCCP pass — constant parameters then fold into branch verdicts
+// and loop trip counts.
+func AnalyzeMethodSeeded(m *ir.Method, params []ParamFact) *MethodInfo {
+	f := Build(m, nil)
+	sc := RunSCCPSeeded(f, params)
+	return &MethodInfo{F: f, SCCP: sc, Forest: BuildForest(f, sc)}
+}
+
+// BlockWeight returns the static frequency weight of block b.
+func (mi *MethodInfo) BlockWeight(b int) float64 {
+	if !mi.F.CFG.Reachable(b) || !mi.SCCP.BlockExec[b] {
+		return 0
+	}
+	w := 1.0
+	for li := mi.Forest.LoopOf[b]; li >= 0; li = mi.Forest.Loops[li].Parent {
+		switch trip := mi.Forest.Loops[li].Trip; {
+		case trip < 0:
+			w *= DefaultTrip // unknown bounds
+		case trip > 1:
+			w *= float64(trip)
+			// trip 0 or 1: the header still runs; weigh the pass once.
+		}
+		if w > MaxWeight {
+			return MaxWeight
+		}
+	}
+	return w
+}
+
+// Weights computes the per-instruction static frequency weight of every
+// instruction in prog, indexed by ir.Instr.ID. Instructions that provably
+// never execute (their block is CFG-unreachable or SCCP proves no branch
+// path reaches it) weigh 0; every other instruction weighs the product of
+// its enclosing loops' trip counts.
+func Weights(prog *ir.Program) []float64 {
+	w := make([]float64, len(prog.Instrs))
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			mi := AnalyzeMethod(m)
+			for pc := range m.Code {
+				w[m.Code[pc].ID] = mi.BlockWeight(mi.F.CFG.BlockOf[pc])
+			}
+		}
+	}
+	return w
+}

@@ -1,0 +1,101 @@
+package ssa
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Textual SSA dump for `lowutil ssa`: blocks with phis, SSA operand/def
+// names, SCCP verdicts (constants and unexecutable blocks), value-numbering
+// redundancies and the loop forest with inferred trip counts.
+
+// Dump writes a human-readable rendering of the analyzed method to w.
+func (mi *MethodInfo) Dump(w io.Writer) {
+	f, sc, ft := mi.F, mi.SCCP, mi.Forest
+	m, cfg := f.M, f.CFG
+	rep := CopyProp(f)
+	vn := ValueNumbers(f, rep)
+
+	fmt.Fprintf(w, "func %s: params=%d locals=%d blocks=%d vals=%d phis=%d consts=%d loops=%d\n",
+		m.QualifiedName(), m.Params, m.NumLocals, cfg.NumBlocks(), f.NumVals(), f.NumPhis, sc.NumConsts(), len(ft.Loops))
+	for i := range ft.Loops {
+		lp := &ft.Loops[i]
+		trip := "trip=?"
+		if lp.Trip >= 0 {
+			trip = fmt.Sprintf("trip=%d", lp.Trip)
+		}
+		fmt.Fprintf(w, "  loop %d: header=b%d depth=%d blocks=%d %s\n",
+			i, lp.Header, lp.Depth, len(lp.Blocks), trip)
+	}
+
+	annot := func(v ValID) string {
+		var parts []string
+		if c, ok := sc.ConstOf(v); ok {
+			if c.IsNull {
+				parts = append(parts, "const null")
+			} else {
+				parts = append(parts, fmt.Sprintf("const %d", c.I))
+			}
+		}
+		if v != None && vn[v] != v {
+			parts = append(parts, "same as "+f.Name(vn[v]))
+		} else if v != None && rep[v] != v {
+			parts = append(parts, "copy of "+f.Name(rep[v]))
+		}
+		if len(parts) == 0 {
+			return ""
+		}
+		return "  ; " + strings.Join(parts, ", ")
+	}
+
+	for b := 0; b < cfg.NumBlocks(); b++ {
+		blk := &cfg.Blocks[b]
+		if !cfg.Reachable(b) {
+			fmt.Fprintf(w, "b%d: unreachable (pc %d..%d)\n", b, blk.Start, blk.End-1)
+			continue
+		}
+		var tags []string
+		if !sc.BlockExec[b] {
+			tags = append(tags, "dead")
+		}
+		if d := ft.Depth(b); d > 0 {
+			tags = append(tags, fmt.Sprintf("loop-depth=%d", d))
+		}
+		if w := mi.BlockWeight(b); w != 1 {
+			tags = append(tags, fmt.Sprintf("weight=%g", w))
+		}
+		tag := ""
+		if len(tags) > 0 {
+			tag = "  [" + strings.Join(tags, " ") + "]"
+		}
+		fmt.Fprintf(w, "b%d: preds=%v succs=%v%s\n", b, blk.Preds, blk.Succs, tag)
+		for _, pv := range f.Phis[b] {
+			val := &f.Vals[pv]
+			args := make([]string, len(val.Args))
+			for j, a := range val.Args {
+				args[j] = f.Name(a)
+				if b == 0 && j == len(val.Args)-1 {
+					args[j] += " (entry)"
+				}
+			}
+			fmt.Fprintf(w, "  %8s  %s = phi(%s)%s\n", "", f.Name(pv), strings.Join(args, ", "), annot(pv))
+		}
+		for pc := blk.Start; pc < blk.End; pc++ {
+			in := &m.Code[pc]
+			var ops []string
+			for _, v := range f.Operands[pc] {
+				ops = append(ops, f.Name(v))
+			}
+			lhs := ""
+			if d := f.DefOf[pc]; d != None {
+				lhs = f.Name(d) + " = "
+			}
+			use := ""
+			if len(ops) > 0 {
+				use = " {" + strings.Join(ops, ", ") + "}"
+			}
+			fmt.Fprintf(w, "  pc %4d:  %s%s%s%s\n", pc, lhs, in.String(), use, annot(f.DefOf[pc]))
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package ssa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lowutil/internal/interp"
+	"lowutil/internal/ir"
+	"lowutil/internal/workloads"
+)
+
+// The destruction property: construct SSA, destruct it back to flat IR, and
+// the program still validates and computes the same outputs. Exercised on
+// hand-built corner-case CFGs, on every workload, and on randomized
+// structured programs (also wired up as a fuzz target).
+
+// shortWorkloads mirrors the soundness tests' -short subset.
+var shortWorkloads = map[string]bool{"chart": true, "avrora": true, "hsqldb": true, "luindex": true}
+
+func forEachWorkload(t *testing.T, fn func(t *testing.T, prog *ir.Program)) {
+	t.Helper()
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			if testing.Short() && !shortWorkloads[w.Name] {
+				t.Skip("-short: subset only")
+			}
+			prog, err := w.Compile(1)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			fn(t, prog)
+		})
+	}
+}
+
+func run(prog *ir.Program) ([]int64, error) {
+	m := interp.New(prog)
+	err := m.Run()
+	return m.Output, err
+}
+
+// checkRoundTrip runs prog, destructs every method through SSA, revalidates,
+// reruns, and compares outputs (and error presence: a program that faults
+// must still fault, with identical output up to the fault).
+func checkRoundTrip(t *testing.T, prog *ir.Program) {
+	t.Helper()
+	before, errBefore := run(prog)
+	if err := DestructProgram(prog); err != nil {
+		t.Fatalf("destructed program fails validation: %v", err)
+	}
+	after, errAfter := run(prog)
+	if (errBefore == nil) != (errAfter == nil) {
+		t.Fatalf("error behavior changed: before=%v after=%v", errBefore, errAfter)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("output changed after SSA round-trip:\nbefore: %v\nafter:  %v", before, after)
+	}
+}
+
+func TestRoundTripWorkloads(t *testing.T) {
+	forEachWorkload(t, func(t *testing.T, prog *ir.Program) { checkRoundTrip(t, prog) })
+}
+
+// TestRoundTripSwap forces a phi cycle that needs the scratch slot: two
+// header phis exchanging values every iteration.
+func TestRoundTripSwap(t *testing.T) {
+	prog, _ := buildMain(t, 0, func(_ *ir.Builder, bb *ir.BodyBuilder) {
+		bb.Const(0, 1) // a = 1
+		bb.Const(1, 2) // b = 2
+		bb.Const(2, 0) // i = 0
+		bb.Const(3, 3) // n = 3
+		bb.Const(4, 1) // one = 1
+		head := bb.PC()
+		exit := bb.If(2, ir.Ge, 3, 0)
+		bb.Move(5, 0) // t = a
+		bb.Move(0, 1) // a = b
+		bb.Move(1, 5) // b = t
+		bb.Bin(2, ir.Add, 2, 4)
+		bb.Goto(head)
+		bb.Patch(exit, bb.PC())
+		bb.Native(-1, ir.NativePrint, 0)
+		bb.Native(-1, ir.NativePrint, 1)
+		bb.ReturnVoid()
+	})
+	checkRoundTrip(t, prog)
+}
+
+// TestRoundTripEntryLoop exercises entry-phi virtual-edge copies.
+func TestRoundTripEntryLoop(t *testing.T) {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	count := bd.Method(cls, "count", true, 1, ir.IntType)
+	cb := bd.Body(count)
+	// while v0 > 0 { v0 = v0 - 1 }  — the entry block is the loop header.
+	cb.Const(1, 0)
+	exit := cb.If(0, ir.Le, 1, 0)
+	cb.Const(2, 1)
+	cb.Bin(0, ir.Sub, 0, 2)
+	cb.Goto(0)
+	cb.Patch(exit, cb.PC())
+	cb.Return(0)
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	mb.Const(0, 5)
+	mb.Call(1, count, 0)
+	mb.Native(-1, ir.NativePrint, 1)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	checkRoundTrip(t, prog)
+}
+
+// TestRoundTripMaybeUninit: a slot that is read only on iterations after it
+// was written, with a statically-undef path into the phi.
+func TestRoundTripMaybeUninit(t *testing.T) {
+	prog, _ := buildMain(t, 0, func(_ *ir.Builder, bb *ir.BodyBuilder) {
+		bb.Const(0, 0) // i = 0
+		bb.Const(1, 3) // n = 3
+		bb.Const(2, 1) // one
+		bb.Const(4, 0) // zero
+		head := bb.PC()
+		exit := bb.If(0, ir.Ge, 1, 0)
+		skip := bb.If(0, ir.Le, 4, 0) // first iteration (i==0): skip the read of v3
+		bb.Native(-1, ir.NativePrint, 3)
+		bb.Patch(skip, bb.PC())
+		bb.Bin(3, ir.Mul, 0, 0) // v3 = i*i (written every iteration)
+		bb.Bin(0, ir.Add, 0, 2)
+		bb.Goto(head)
+		bb.Patch(exit, bb.PC())
+		bb.ReturnVoid()
+	})
+	checkRoundTrip(t, prog)
+}
+
+// TestRoundTripDeadBranch: a constant-false branch guarding unreachable-ish
+// code (reachable in the CFG, dead under SCCP) must survive destruction.
+func TestRoundTripDeadBranch(t *testing.T) {
+	prog, _ := buildMain(t, 0, func(_ *ir.Builder, bb *ir.BodyBuilder) {
+		bb.Const(0, 0)
+		bb.Const(1, 7)
+		j := bb.If(0, ir.Ne, 0, 0) // never taken
+		g := bb.Goto(0)
+		bb.Patch(j, bb.PC())
+		bb.Const(1, 99) // dead
+		bb.Patch(g, bb.PC())
+		bb.Native(-1, ir.NativePrint, 1)
+		bb.ReturnVoid()
+	})
+	checkRoundTrip(t, prog)
+}
+
+// genProgram builds a random structured program from rng: straight-line
+// arithmetic, nested if/else, and counted while loops with reserved
+// induction slots (so random assignments cannot break termination).
+func genProgram(rng *rand.Rand) *ir.Program {
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	m := bd.Method(cls, "main", true, 0, nil)
+	bb := bd.Body(m)
+
+	const nVars = 6 // slots 0..5 are general variables
+	nextLoopSlot := nVars
+	for s := 0; s < nVars; s++ {
+		bb.Const(s, int64(rng.Intn(21)-10))
+	}
+	v := func() int { return rng.Intn(nVars) }
+	ops := []ir.BinOp{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Div, ir.Rem}
+	cmps := []ir.Cmp{ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge}
+
+	var genBlock func(depth, nStmts int)
+	genStmt := func(depth int) {
+		switch k := rng.Intn(10); {
+		case k < 4: // arithmetic
+			bb.Bin(v(), ops[rng.Intn(len(ops))], v(), v())
+		case k < 5:
+			bb.Const(v(), int64(rng.Intn(41)-20))
+		case k < 6:
+			bb.Move(v(), v())
+		case k < 7:
+			bb.Native(-1, ir.NativePrint, v())
+		case k < 9 && depth > 0: // if / if-else
+			j := bb.If(v(), cmps[rng.Intn(len(cmps))], v(), 0)
+			genBlock(depth-1, 1+rng.Intn(3))
+			if rng.Intn(2) == 0 { // with else
+				g := bb.Goto(0)
+				bb.Patch(j, bb.PC())
+				genBlock(depth-1, 1+rng.Intn(3))
+				bb.Patch(g, bb.PC())
+			} else {
+				bb.Patch(j, bb.PC())
+			}
+		case depth > 0: // counted while loop over a reserved slot
+			li := nextLoopSlot
+			nextLoopSlot++
+			lim := nextLoopSlot
+			nextLoopSlot++
+			one := nextLoopSlot
+			nextLoopSlot++
+			bb.Const(li, 0)
+			bb.Const(lim, int64(1+rng.Intn(4)))
+			bb.Const(one, 1)
+			head := bb.PC()
+			exit := bb.If(li, ir.Ge, lim, 0)
+			genBlock(depth-1, 1+rng.Intn(3))
+			bb.Bin(li, ir.Add, li, one)
+			bb.Goto(head)
+			bb.Patch(exit, bb.PC())
+		default:
+			bb.Bin(v(), ir.Add, v(), v())
+		}
+	}
+	genBlock = func(depth, nStmts int) {
+		for i := 0; i < nStmts; i++ {
+			genStmt(depth)
+		}
+	}
+	genBlock(3, 4+rng.Intn(5))
+	for s := 0; s < nVars; s++ {
+		bb.Native(-1, ir.NativePrint, s)
+	}
+	bb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		panic(err) // generator bug, not an input property
+	}
+	return prog
+}
+
+// TestRoundTripRandom drives the property over many random programs.
+func TestRoundTripRandom(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		prog := genProgram(rng)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d: panic: %v", i, r)
+				}
+			}()
+			checkRoundTrip(t, prog)
+		}()
+	}
+}
+
+// FuzzRoundTrip fuzzes the same property by seed.
+func FuzzRoundTrip(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		prog := genProgram(rand.New(rand.NewSource(seed)))
+		checkRoundTrip(t, prog)
+	})
+}

@@ -1,0 +1,224 @@
+package ssa
+
+import (
+	"testing"
+
+	"lowutil/internal/ir"
+)
+
+// buildMain seals a program whose interesting body lives in a static method
+// Main.f (params allowed — main must be parameterless) and whose main calls
+// it with small constants. Returns the program and the f method.
+func buildMain(t *testing.T, params int, build func(bd *ir.Builder, bb *ir.BodyBuilder)) (*ir.Program, *ir.Method) {
+	t.Helper()
+	bd := ir.NewBuilder()
+	cls := bd.Class("Main", nil)
+	target := bd.Method(cls, "f", true, params, nil)
+	build(bd, bd.Body(target))
+	m := bd.Method(cls, "main", true, 0, nil)
+	mb := bd.Body(m)
+	args := make([]int, params)
+	for i := range args {
+		mb.Const(i, int64(i)+1)
+		args[i] = i
+	}
+	mb.Call(-1, target, args...)
+	mb.ReturnVoid()
+	prog, err := bd.Seal("Main", "main")
+	if err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	return prog, target
+}
+
+// checkInvariants verifies the structural SSA invariants on f.
+func checkInvariants(t *testing.T, f *Func) {
+	t.Helper()
+	m, cfg := f.M, f.CFG
+	for b := 0; b < cfg.NumBlocks(); b++ {
+		blk := &cfg.Blocks[b]
+		reach := cfg.Reachable(b)
+		for _, pv := range f.Phis[b] {
+			val := &f.Vals[pv]
+			if val.Kind != VPhi || val.Block != b {
+				t.Fatalf("phi %d misfiled: kind=%v block=%d at b%d", pv, val.Kind, val.Block, b)
+			}
+			want := len(blk.Preds)
+			if b == 0 {
+				want++
+			}
+			if len(val.Args) != want {
+				t.Fatalf("phi %s at b%d: %d args, want %d", f.Name(pv), b, len(val.Args), want)
+			}
+			for j, a := range val.Args {
+				if a == None {
+					// Allowed only on unreachable predecessor edges.
+					if j < len(blk.Preds) && cfg.Reachable(blk.Preds[j]) {
+						t.Fatalf("phi %s at b%d: arg %d is None on reachable pred b%d", f.Name(pv), b, j, blk.Preds[j])
+					}
+					continue
+				}
+				if f.Vals[a].Slot != val.Slot {
+					t.Fatalf("phi %s arg %d versions slot %d, want %d", f.Name(pv), j, f.Vals[a].Slot, val.Slot)
+				}
+			}
+		}
+		for pc := blk.Start; pc < blk.End; pc++ {
+			in := &m.Code[pc]
+			nuses := 0
+			in.Uses(func(s int, _ bool) { nuses++ })
+			if !reach {
+				if f.Operands[pc] != nil || f.DefOf[pc] != None {
+					t.Fatalf("unreachable pc %d has SSA info", pc)
+				}
+				continue
+			}
+			if len(f.Operands[pc]) != nuses {
+				t.Fatalf("pc %d: %d operands, Uses reports %d", pc, len(f.Operands[pc]), nuses)
+			}
+			i := 0
+			in.Uses(func(s int, _ bool) {
+				v := f.Operands[pc][i]
+				if f.Vals[v].Slot != s {
+					t.Fatalf("pc %d operand %d: value %s versions slot %d, want %d", pc, i, f.Name(v), f.Vals[v].Slot, s)
+				}
+				i++
+			})
+			if d := in.Def(); d >= 0 {
+				v := f.DefOf[pc]
+				if v == None || f.Vals[v].Kind != VInstr || f.Vals[v].PC != pc || f.Vals[v].Slot != d {
+					t.Fatalf("pc %d: bad def value", pc)
+				}
+			} else if f.DefOf[pc] != None {
+				t.Fatalf("pc %d: def value for def-less instruction", pc)
+			}
+		}
+	}
+	// Use lists round-trip: every recorded use actually references the value.
+	for v := 0; v < f.NumVals(); v++ {
+		for _, u := range f.Uses(ValID(v)) {
+			if u.IsPhi() {
+				if f.Vals[u.Phi].Args[u.ArgIdx] != ValID(v) {
+					t.Fatalf("use list of %s: phi arg mismatch", f.Name(ValID(v)))
+				}
+			} else if f.Operands[u.PC][u.OpIdx] != ValID(v) {
+				t.Fatalf("use list of %s: operand mismatch at pc %d", f.Name(ValID(v)), u.PC)
+			}
+		}
+	}
+}
+
+// TestBuildDiamond checks phi placement at a simple if/else join.
+func TestBuildDiamond(t *testing.T) {
+	// v0 = param; if v0 > 0 { v1 = 1 } else { v1 = 2 }; print v1
+	_, m := buildMain(t, 1, func(_ *ir.Builder, bb *ir.BodyBuilder) {
+		bb.Const(2, 0)
+		ifPC := bb.If(0, ir.Gt, 2, 0)
+		bb.Const(1, 2)
+		g := bb.Goto(0)
+		bb.Patch(ifPC, bb.PC())
+		bb.Const(1, 1)
+		bb.Patch(g, bb.PC())
+		bb.Native(-1, ir.NativePrint, 1)
+		bb.ReturnVoid()
+	})
+	f := Build(m, nil)
+	checkInvariants(t, f)
+	join := f.CFG.BlockOf[len(m.Code)-2]
+	var phis []ValID
+	for _, pv := range f.Phis[join] {
+		phis = append(phis, pv)
+	}
+	if len(phis) != 1 || f.Vals[phis[0]].Slot != 1 {
+		t.Fatalf("want one phi for slot 1 at join, got %d phis", len(phis))
+	}
+	if f.NumPhis != 1 {
+		t.Fatalf("NumPhis = %d, want 1 (pruned SSA must not place dead phis)", f.NumPhis)
+	}
+}
+
+// TestBuildLoopPhi checks that a counted loop gets a header phi for the
+// induction variable and that the back-edge argument is the incremented
+// value.
+func TestBuildLoopPhi(t *testing.T) {
+	_, m := buildMain(t, 0, func(_ *ir.Builder, bb *ir.BodyBuilder) {
+		bb.Const(0, 0)  // i = 0
+		bb.Const(1, 10) // n = 10
+		head := bb.PC()
+		exit := bb.If(0, ir.Ge, 1, 0) // if i >= n goto end
+		bb.Const(2, 1)
+		bb.Bin(0, ir.Add, 0, 2) // i = i + 1
+		bb.Goto(head)
+		bb.Patch(exit, bb.PC())
+		bb.Native(-1, ir.NativePrint, 0)
+		bb.ReturnVoid()
+	})
+	f := Build(m, nil)
+	checkInvariants(t, f)
+	head := f.CFG.BlockOf[2]
+	var iPhi ValID = None
+	for _, pv := range f.Phis[head] {
+		if f.Vals[pv].Slot == 0 {
+			iPhi = pv
+		}
+	}
+	if iPhi == None {
+		t.Fatal("no phi for the induction variable at the loop header")
+	}
+	sawInstr := false
+	for _, a := range f.Vals[iPhi].Args {
+		if a != None && f.Vals[a].Kind == VInstr {
+			sawInstr = true
+		}
+	}
+	if !sawInstr {
+		t.Fatal("induction phi has no back-edge argument from the increment")
+	}
+}
+
+// TestBuildEntryLoop exercises the virtual function-entry edge: a method
+// whose entry block is also a loop header (the latch jumps to pc 0).
+func TestBuildEntryLoop(t *testing.T) {
+	_, m := buildMain(t, 1, func(_ *ir.Builder, bb *ir.BodyBuilder) {
+		// while v0 > 0 { v0 = v0 - 1 }; print v0
+		bb.Const(1, 0)
+		exit := bb.If(0, ir.Le, 1, 0)
+		bb.Const(2, 1)
+		bb.Bin(0, ir.Sub, 0, 2)
+		bb.Goto(0)
+		bb.Patch(exit, bb.PC())
+		bb.Native(-1, ir.NativePrint, 0)
+		bb.ReturnVoid()
+	})
+	f := Build(m, nil)
+	checkInvariants(t, f)
+	if len(f.CFG.Blocks[0].Preds) == 0 {
+		t.Fatal("test premise broken: entry block has no predecessors")
+	}
+	var v0Phi ValID = None
+	for _, pv := range f.Phis[0] {
+		if f.Vals[pv].Slot == 0 {
+			v0Phi = pv
+		}
+	}
+	if v0Phi == None {
+		t.Fatal("no entry phi for the looping parameter")
+	}
+	args := f.Vals[v0Phi].Args
+	entryArg := args[len(args)-1]
+	if entryArg == None || f.Vals[entryArg].Kind != VParam {
+		t.Fatalf("virtual entry argument should be the parameter value, got %v", entryArg)
+	}
+}
+
+// TestBuildAllWorkloads builds SSA for every method of every workload and
+// checks the invariants — the broad-coverage construction test.
+func TestBuildAllWorkloads(t *testing.T) {
+	forEachWorkload(t, func(t *testing.T, prog *ir.Program) {
+		for _, c := range prog.Classes {
+			for _, m := range c.Methods {
+				checkInvariants(t, Build(m, nil))
+			}
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package ssa
+
+import (
+	"testing"
+
+	"lowutil/internal/ir"
+)
+
+// TestTrailingUnusedDef pins a construction corner: when the last value a
+// method defines is never used (here the dead Add), the use table must
+// still cover it — addUse pads lazily and used to leave uses short of
+// Vals, so SCCP's worklist drain panicked on hand-built IR like this.
+func TestTrailingUnusedDef(t *testing.T) {
+	b := ir.NewBuilder()
+	cls := b.Class("Main", nil)
+	helper := b.Method(cls, "seven", true, 0, ir.IntType)
+	hb := b.Body(helper)
+	hb.Const(0, 7)
+	hb.Return(0)
+	m := b.Method(cls, "main", true, 0, nil)
+	mb := b.Body(m)
+	mb.Call(0, helper)
+	mb.Bin(1, ir.Add, 0, 0) // dead: defines the last value, no uses
+	mb.ReturnVoid()
+	prog, err := b.Seal("Main", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range prog.Classes {
+		for _, mm := range c.Methods {
+			f := Build(mm, nil)
+			if len(f.uses) != len(f.Vals) {
+				t.Fatalf("%s: uses table %d entries, %d values", mm.QualifiedName(), len(f.uses), len(f.Vals))
+			}
+			for v := ValID(0); int(v) < f.NumVals(); v++ {
+				_ = f.Uses(v) // must not panic
+			}
+			RunSCCP(f) // must not panic either
+		}
+	}
+}

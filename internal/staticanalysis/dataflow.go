@@ -214,58 +214,11 @@ func Solve(p *Problem) *Solution {
 	return sol
 }
 
-// Dominators computes the immediate dominator of every reachable block with
-// the Cooper–Harvey–Kennedy iterative algorithm over the reverse postorder.
-// idom[entry] == entry; idom[b] == -1 for unreachable blocks.
-func Dominators(cfg *ir.CFG) []int {
-	nb := cfg.NumBlocks()
-	idom := make([]int, nb)
-	for i := range idom {
-		idom[i] = -1
-	}
-	if nb == 0 {
-		return idom
-	}
-	idom[0] = 0
-
-	intersect := func(a, b int) int {
-		for a != b {
-			for cfg.RPOIndex(a) > cfg.RPOIndex(b) {
-				a = idom[a]
-			}
-			for cfg.RPOIndex(b) > cfg.RPOIndex(a) {
-				b = idom[b]
-			}
-		}
-		return a
-	}
-
-	changed := true
-	for changed {
-		changed = false
-		for _, b := range cfg.RPO {
-			if b == 0 {
-				continue
-			}
-			newIdom := -1
-			for _, p := range cfg.Blocks[b].Preds {
-				if idom[p] == -1 {
-					continue
-				}
-				if newIdom == -1 {
-					newIdom = p
-				} else {
-					newIdom = intersect(newIdom, p)
-				}
-			}
-			if newIdom != -1 && idom[b] != newIdom {
-				idom[b] = newIdom
-				changed = true
-			}
-		}
-	}
-	return idom
-}
+// Dominators computes the immediate dominator of every reachable block.
+// idom[entry] == entry; idom[b] == -1 for unreachable blocks. The
+// implementation lives in internal/ir (the SSA layer shares it); this
+// wrapper keeps the historical staticanalysis entry point.
+func Dominators(cfg *ir.CFG) []int { return ir.Dominators(cfg) }
 
 // Dominates reports whether block a dominates block b under idom (as
 // returned by Dominators).

@@ -2,7 +2,6 @@ package staticanalysis
 
 import (
 	"fmt"
-	"sort"
 
 	"lowutil/internal/interproc"
 	"lowutil/internal/ir"
@@ -88,18 +87,19 @@ var deadStoreOps = map[ir.Op]bool{
 	ir.OpArrayLen:   true,
 }
 
-// Vet runs the full static diagnostics suite over prog and returns the
-// findings sorted by (class, method, pc, kind) so output is byte-identical
-// across runs. The interprocedural checks run over an RTA call graph with
-// context-insensitive points-to; use VetWith to supply a different pipeline.
-func Vet(prog *ir.Program) []Finding {
-	return VetWith(prog, interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA}))
+// VetDense runs the full static diagnostics suite using the dense
+// (reaching-definitions) per-method engine. It predates the SSA engine in
+// vetssa.go and is kept both as the reference point for the differential
+// test and as a fallback (`lowutil vet -engine=dense`): every SSA finding
+// class is pinned to this engine's results, kind by kind.
+func VetDense(prog *ir.Program) []Finding {
+	return VetDenseWith(prog, interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA}))
 }
 
-// VetWith is Vet over a caller-supplied interprocedural analysis. A nil
-// analysis degrades every whole-program check to its single-method
+// VetDenseWith is VetDense over a caller-supplied interprocedural analysis.
+// A nil analysis degrades every whole-program check to its single-method
 // approximation (the pre-call-graph behavior).
-func VetWith(prog *ir.Program, an *interproc.Analysis) []Finding {
+func VetDenseWith(prog *ir.Program, an *interproc.Analysis) []Finding {
 	var out []Finding
 	out = append(out, writeOnlyFields(prog, an)...)
 	unusedByPT := interprocUnusedObjects(an)
@@ -108,22 +108,7 @@ func VetWith(prog *ir.Program, an *interproc.Analysis) []Finding {
 			out = append(out, vetMethod(m, an, unusedByPT)...)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Class != b.Class {
-			return a.Class < b.Class
-		}
-		if a.Method != b.Method {
-			return a.Method < b.Method
-		}
-		if a.PC != b.PC {
-			return a.PC < b.PC
-		}
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		return a.Detail < b.Detail
-	})
+	sortFindings(out)
 	return out
 }
 

@@ -1,0 +1,151 @@
+package staticanalysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lowutil/internal/interproc"
+	"lowutil/internal/workloads"
+)
+
+// Differential test between the dense (reaching-definitions) and SSA vet
+// engines. The SSA engine is allowed to differ from the dense one only in
+// directions that are precision improvements, pinned per kind:
+//
+//	dead-store          dense ⊆ ssa   (transitive dead chains only add)
+//	unused-alloc        dense ⊆ ssa   (phi-aware closure only adds)
+//	unreachable-code    dense ⊆ ssa   (extra reports are SCCP-proven blocks)
+//	uninit-read         ssa ⊆ dense   (executable-edge taint only removes)
+//	callee-clobbered    dense ⊆ ssa ∪ ssa-dead-stores
+//	write-only-field    identical     (the check is engine-independent)
+//
+// The callee-clobbered relation is looser because the SSA engine classifies a
+// store whose value transitively feeds only dead computations as a dead store
+// even when its direct use is an ignored call argument sitting in dead code.
+//
+// The per-workload finding counts for both engines are golden-filed in
+// testdata/vet/differential.golden so a precision regression in either
+// engine — or an SSA "improvement" that silently explodes the report — shows
+// up as a diff.
+
+type findingKey struct {
+	Class, Method string
+	PC            int
+}
+
+func keySet(fs []Finding, kind Kind) map[findingKey]bool {
+	out := make(map[findingKey]bool)
+	for _, f := range fs {
+		if f.Kind == kind {
+			out[findingKey{f.Class, f.Method, f.PC}] = true
+		}
+	}
+	return out
+}
+
+func checkSubset(t *testing.T, what string, sub, super map[findingKey]bool) {
+	t.Helper()
+	for k := range sub {
+		if !super[k] {
+			t.Errorf("%s: %s.%s:%d found by the smaller engine only", what, k.Class, k.Method, k.PC)
+		}
+	}
+}
+
+func TestVetDifferential(t *testing.T) {
+	var report strings.Builder
+	for _, w := range workloads.All() {
+		w := w
+		prog, err := w.Compile(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA})
+		dense := VetDenseWith(prog, an)
+		sparse := VetWith(prog, an)
+
+		t.Run(w.Name, func(t *testing.T) {
+			checkSubset(t, "dead-store (dense ⊆ ssa)",
+				keySet(dense, KindDeadStore), keySet(sparse, KindDeadStore))
+			checkSubset(t, "unused-alloc (dense ⊆ ssa)",
+				keySet(dense, KindUnusedAlloc), keySet(sparse, KindUnusedAlloc))
+			checkSubset(t, "unreachable (dense ⊆ ssa)",
+				keySet(dense, KindUnreachable), keySet(sparse, KindUnreachable))
+			checkSubset(t, "uninit-read (ssa ⊆ dense)",
+				keySet(sparse, KindUninitRead), keySet(dense, KindUninitRead))
+			ccSuper := keySet(sparse, KindCalleeClobbered)
+			for k := range keySet(sparse, KindDeadStore) {
+				ccSuper[k] = true
+			}
+			checkSubset(t, "callee-clobbered (dense ⊆ ssa ∪ ssa-dead)",
+				keySet(dense, KindCalleeClobbered), ccSuper)
+
+			// Extra unreachable reports must carry the SCCP message.
+			denseUnreach := keySet(dense, KindUnreachable)
+			for _, f := range sparse {
+				if f.Kind != KindUnreachable {
+					continue
+				}
+				k := findingKey{f.Class, f.Method, f.PC}
+				if !denseUnreach[k] && !strings.Contains(f.Detail, "constant propagation") {
+					t.Errorf("extra unreachable report without SCCP attribution: %v", f)
+				}
+			}
+
+			// Write-only fields are computed identically by both engines.
+			var dWO, sWO []string
+			for _, f := range dense {
+				if f.Kind == KindWriteOnlyField {
+					dWO = append(dWO, f.String())
+				}
+			}
+			for _, f := range sparse {
+				if f.Kind == KindWriteOnlyField {
+					sWO = append(sWO, f.String())
+				}
+			}
+			sort.Strings(dWO)
+			sort.Strings(sWO)
+			if strings.Join(dWO, "\n") != strings.Join(sWO, "\n") {
+				t.Errorf("write-only-field reports differ:\ndense: %v\nssa:   %v", dWO, sWO)
+			}
+		})
+
+		report.WriteString(w.Name)
+		for _, k := range []Kind{KindDeadStore, KindWriteOnlyField, KindUnusedAlloc, KindUnreachable, KindUninitRead, KindCalleeClobbered} {
+			nd, ns := 0, 0
+			for _, f := range dense {
+				if f.Kind == k {
+					nd++
+				}
+			}
+			for _, f := range sparse {
+				if f.Kind == k {
+					ns++
+				}
+			}
+			fmt.Fprintf(&report, " %s=%d/%d", k, nd, ns)
+		}
+		report.WriteByte('\n')
+	}
+
+	path := filepath.Join("testdata", "vet", "differential.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(report.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if report.String() != string(want) {
+		t.Errorf("dense/ssa finding counts diverge from %s (regenerate with -update if intended):\n--- got\n%s--- want\n%s",
+			path, report.String(), want)
+	}
+}

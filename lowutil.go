@@ -51,6 +51,7 @@ import (
 	"lowutil/internal/ir"
 	"lowutil/internal/mjc"
 	"lowutil/internal/profiler"
+	"lowutil/internal/ssa"
 	"lowutil/internal/staticanalysis"
 )
 
@@ -101,9 +102,27 @@ type VetFinding struct {
 // Vet runs the static diagnostics suite — no execution involved — and
 // returns the findings sorted by (class, method, pc) so output is stable
 // across runs. Zero findings means the program is clean under all five
-// checks.
+// checks. Vet uses the SSA-based engine; VetEngine selects explicitly.
 func (p *Program) Vet() []VetFinding {
-	fs := staticanalysis.Vet(p.prog)
+	return convertFindings(staticanalysis.Vet(p.prog))
+}
+
+// VetEngine runs the vet suite with an explicit engine: "ssa" (the default —
+// sparse analyses over SSA form, with transitive dead-store chains and
+// SCCP-proven unreachable code) or "dense" (the classic bit-vector
+// reaching-definitions engine, kept as the differential-testing reference).
+func (p *Program) VetEngine(engine string) ([]VetFinding, error) {
+	switch engine {
+	case "", "ssa":
+		return convertFindings(staticanalysis.Vet(p.prog)), nil
+	case "dense":
+		return convertFindings(staticanalysis.VetDense(p.prog)), nil
+	default:
+		return nil, fmt.Errorf("lowutil: unknown vet engine %q (want ssa or dense)", engine)
+	}
+}
+
+func convertFindings(fs []staticanalysis.Finding) []VetFinding {
 	out := make([]VetFinding, 0, len(fs))
 	for _, f := range fs {
 		out = append(out, VetFinding{
@@ -116,6 +135,31 @@ func (p *Program) Vet() []VetFinding {
 		})
 	}
 	return out
+}
+
+// SSADump renders the SSA-form analysis of one method ("Class.method"), or
+// of every method when method is empty: blocks with phis and SSA names,
+// SCCP verdicts (constants, dead blocks), value-numbering redundancies, and
+// the loop forest with inferred trip counts and frequency weights.
+func (p *Program) SSADump(method string) (string, error) {
+	var b strings.Builder
+	found := false
+	for _, c := range p.prog.Classes {
+		for _, m := range c.Methods {
+			if method != "" && m.QualifiedName() != method {
+				continue
+			}
+			if found {
+				b.WriteByte('\n')
+			}
+			ssa.AnalyzeMethod(m).Dump(&b)
+			found = true
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("lowutil: no method %q", method)
+	}
+	return b.String(), nil
 }
 
 // SliceOptions configures the interprocedural static slice.

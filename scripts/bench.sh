@@ -10,7 +10,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 IDX="${1:-3}"
-BENCH="${BENCH:-BenchmarkCostBenefitAnalysis|BenchmarkDeadness|BenchmarkOverhead|BenchmarkInterpreterRaw|BenchmarkPointsTo|BenchmarkStaticSlice|BenchmarkInterprocPrune|BenchmarkCancelCheck}"
+BENCH="${BENCH:-BenchmarkCostBenefitAnalysis|BenchmarkDeadness|BenchmarkOverhead|BenchmarkInterpreterRaw|BenchmarkPointsTo|BenchmarkStaticSlice|BenchmarkInterprocPrune|BenchmarkCancelCheck|BenchmarkSSAConstruct|BenchmarkSCCP|BenchmarkLoopForest|BenchmarkVetEngines}"
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${OUT:-BENCH_${IDX}.json}"
 

@@ -23,6 +23,11 @@ sh scripts/apisurface.sh
 # 18-workload × {CHA, RTA} sweep already ran inside `go test ./...`).
 make lint
 go test ./internal/interproc -run TestSoundnessAllWorkloads -short -count=1
+# Rank-correlation regression gate: the frequency-weighted static bounds
+# must keep matching the recorded precision baseline
+# (internal/evalharness/testdata/precision.golden) and beating the
+# unweighted bounds on mean Spearman rho.
+go test ./internal/evalharness -run TestPrecisionRankCorrelation -short -count=1
 # The analysis pipeline is parallel; -short keeps the race pass fast by
 # trimming the all-workload differential sweeps to a subset.
 go test -race -short ./...
