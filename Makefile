@@ -1,4 +1,4 @@
-.PHONY: check build test bench lint apisurface
+.PHONY: check build test bench benchdiff lint apisurface
 
 check:
 	sh scripts/check.sh
@@ -9,8 +9,16 @@ build:
 test:
 	go test ./...
 
+# bench writes BENCH_7.json (min-of-COUNT ns/op per benchmark) and then
+# gates: >10% regression vs the previous BENCH_*.json in the frozen
+# cost-benefit analysis or any profiled_s16 overhead series fails the
+# target. `make check` runs the same comparison report-only.
 bench:
-	sh scripts/bench.sh
+	sh scripts/bench.sh 7
+	sh scripts/benchdiff.sh
+
+benchdiff:
+	sh scripts/benchdiff.sh
 
 # Full static lint: the vet suite over all 18 workloads, compared against
 # the golden files in internal/staticanalysis/testdata/vet/. Regenerate the

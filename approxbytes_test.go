@@ -1,0 +1,92 @@
+package lowutil
+
+import (
+	"testing"
+
+	"lowutil/internal/depgraph"
+	"lowutil/internal/interp"
+	"lowutil/internal/profiler"
+	"lowutil/internal/workloads"
+)
+
+// cloneGraph rebuilds g through the public depgraph API: same nodes (with
+// frequencies), dep/ref edges, location registrations, and points-to
+// children. It is the measurement harness for TestApproxBytesVsMeasured —
+// building the clone allocates exactly the graph's own structures, with
+// none of the interpreter or workload allocations a profiled run mixes in.
+func cloneGraph(g *depgraph.Graph) *depgraph.Graph {
+	c := depgraph.New(g.Prog)
+	g.Nodes(func(n *depgraph.Node) {
+		cn := c.Node(n.In, n.D)
+		cn.SetFreq(n.Freq())
+		cn.Eff = n.Eff
+	})
+	remap := func(n *depgraph.Node) *depgraph.Node {
+		if n == nil {
+			return nil
+		}
+		return c.Node(n.In, n.D)
+	}
+	g.Nodes(func(n *depgraph.Node) {
+		cn := remap(n)
+		n.Deps(func(d *depgraph.Node) { c.AddDep(cn, remap(d)) })
+		n.RefEdges(func(r *depgraph.Node) { c.AddRef(cn, remap(r)) })
+	})
+	g.Locs(func(loc depgraph.Loc) {
+		cloc := depgraph.Loc{Alloc: remap(loc.Alloc), Field: loc.Field}
+		g.StoresOf(loc, func(n *depgraph.Node) { c.AddLocStore(cloc, remap(n)) })
+		g.LoadsOf(loc, func(n *depgraph.Node) { c.AddLocLoad(cloc, remap(n)) })
+	})
+	g.Nodes(func(n *depgraph.Node) {
+		g.Children(n, func(field int, child *depgraph.Node) {
+			c.AddChild(depgraph.Loc{Alloc: remap(n), Field: field}, remap(child))
+		})
+	})
+	return c
+}
+
+// TestApproxBytesVsMeasured pins Graph.ApproxBytes against measured reality
+// on one workload: the bytes actually allocated while rebuilding the
+// profiled graph must agree with the model within 2× either way. The
+// measurement uses the testing package's allocation accounting
+// (testing.Benchmark's per-op allocated bytes, the byte-granular sibling of
+// testing.AllocsPerRun) around cloneGraph, which allocates only graph
+// structures.
+func TestApproxBytesVsMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not worth running under -short")
+	}
+	w := workloads.ByName("eclipse")
+	prog, err := w.Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profiler.New(prog, profiler.Options{Slots: 16})
+	m := interp.New(prog)
+	m.Tracer = p
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g := p.G
+	approx := g.ApproxBytes()
+
+	var sink *depgraph.Graph
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = cloneGraph(g)
+		}
+	})
+	_ = sink
+	measured := res.AllocedBytesPerOp()
+	if measured == 0 {
+		t.Fatal("allocation measurement returned 0 bytes")
+	}
+
+	t.Logf("nodes=%d deps=%d refs=%d approx=%d measured=%d ratio=%.2f",
+		g.NumNodes(), g.NumDepEdges(), g.NumRefEdges(), approx, measured,
+		float64(approx)/float64(measured))
+	if approx > 2*measured || measured > 2*approx {
+		t.Errorf("ApproxBytes()=%d not within 2x of measured %d allocated bytes", approx, measured)
+	}
+}

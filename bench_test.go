@@ -21,6 +21,7 @@ import (
 	"lowutil/internal/casestudies"
 	"lowutil/internal/costben"
 	"lowutil/internal/deadness"
+	"lowutil/internal/depgraph"
 	"lowutil/internal/interp"
 	"lowutil/internal/interproc"
 	"lowutil/internal/ir"
@@ -82,13 +83,65 @@ func runProfiled(b *testing.B, prog *ir.Program, opts profiler.Options) *profile
 // for each workload is the paper's overhead factor. ----
 
 func BenchmarkOverhead(b *testing.B) {
-	for _, name := range []string{"chart", "bloat", "eclipse", "sunflow", "derby", "tradebeans"} {
-		prog := mustCompileWorkload(b, name)
-		b.Run(name+"/baseline", func(b *testing.B) { runBaseline(b, prog) })
-		b.Run(name+"/profiled_s16", func(b *testing.B) {
+	for _, w := range workloads.All() {
+		prog := mustCompileWorkload(b, w.Name)
+		b.Run(w.Name+"/baseline", func(b *testing.B) { runBaseline(b, prog) })
+		b.Run(w.Name+"/profiled_s16", func(b *testing.B) {
 			runProfiled(b, prog, profiler.Options{Slots: 16})
 		})
 	}
+}
+
+// BenchmarkDispatch isolates the event-emission cost of the handler-table
+// engine: a NopTracer forces the full emit path (event record fill +
+// interface call) with no profiling work behind it. The difference against
+// the baseline series is the pure dispatch tax; the difference between
+// profiled_s16 and this is the profiler's own hot-path cost.
+func BenchmarkDispatch(b *testing.B) {
+	for _, name := range []string{"chart", "bloat", "sunflow"} {
+		prog := mustCompileWorkload(b, name)
+		b.Run(name+"/nop_tracer", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := interp.New(prog)
+				m.Tracer = interp.NopTracer{}
+				if err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNodeIntern isolates the dense intern table: repeated Touch of the
+// same (instruction, context) pairs, the innermost operation of the online
+// profiler.
+func BenchmarkNodeIntern(b *testing.B) {
+	prog := mustCompileWorkload(b, "chart")
+	var instrs []*ir.Instr
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			for i := range m.Code {
+				instrs = append(instrs, &m.Code[i])
+			}
+		}
+	}
+	if len(instrs) == 0 {
+		b.Fatal("no instructions")
+	}
+	b.Run("dense", func(b *testing.B) {
+		g := depgraph.NewSized(prog, 15, false)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.TouchFast(instrs[i%len(instrs)], i&15)
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		g := depgraph.NewSized(prog, 15, true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Touch(instrs[i%len(instrs)], i&15)
+		}
+	})
 }
 
 // ---- Table 1: graph characteristics and part (c), as custom metrics ----

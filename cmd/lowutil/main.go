@@ -43,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lowutil"
 )
@@ -96,6 +98,46 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lowutil <command> [flags] <file.mj>
 commands: run, disasm, vet, ssa, slice, profile, nullcheck, copies, predicates, overwrites, caches, serve`)
+}
+
+// startProfiles starts a CPU profile and/or arranges a post-run heap profile
+// when the corresponding path is non-empty. The returned stop function is
+// idempotent-safe to defer; profile-write failures are reported to stderr
+// since the command's own result is already decided by then.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "lowutil: writing cpu profile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lowutil: writing heap profile: %v\n", err)
+				return
+			}
+			runtime.GC() // flush recent frees so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lowutil: writing heap profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "lowutil: writing heap profile: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 func compileFile(path string) (*lowutil.Program, error) {
@@ -227,6 +269,9 @@ func cmdProfile(args []string) error {
 	hops := fs.Int("hops", 1, "heap-to-heap hops for multi-hop cost/benefit")
 	save := fs.String("save", "", "write the profile (Gcost + metadata) to this file for offline analysis")
 	load := fs.String("load", "", "analyze a previously saved profile instead of re-running")
+	legacy := fs.Bool("legacy", false, "run on the reference engine (switch dispatch, map-backed Gcost)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	path, err := oneFile(fs, args)
 	if err != nil {
 		return err
@@ -238,6 +283,11 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	var profile *lowutil.Profile
 	if *load != "" {
 		f, err := os.Open(*load)
@@ -256,6 +306,7 @@ func cmdProfile(args []string) error {
 		opts.Traditional = *traditional
 		opts.TrackControl = *control
 		opts.StaticPrune = *prune
+		opts.LegacyEngine = *legacy
 		profile, err = prog.Profile(opts)
 		if err != nil {
 			return err

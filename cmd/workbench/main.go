@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lowutil"
 	"lowutil/internal/workloads"
@@ -36,7 +38,37 @@ func main() {
 	objctx := flag.Bool("objctx", false, "slice with one level of receiver-object context")
 	engine := flag.String("engine", "ssa", "vet engine: ssa or dense")
 	method := flag.String("m", "", "restrict -ssa to one method (Class.method)")
+	legacy := flag.Bool("legacy", false, "profile on the reference engine (switch dispatch, map-backed Gcost)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("%v", err)
+			}
+			f.Close()
+		}()
+	}
 
 	switch {
 	case *list:
@@ -61,6 +93,7 @@ func main() {
 		prog := compile(*profileName, *scale)
 		opts := lowutil.DefaultOptions()
 		opts.Slots = *slots
+		opts.LegacyEngine = *legacy
 		profile, err := prog.Profile(opts)
 		if err != nil {
 			fatalf("%v", err)

@@ -38,9 +38,9 @@ func (mc *MethodCostTracker) BeforeReturn(in *ir.Instr, fr *interp.Frame) {
 	if !in.HasA {
 		return
 	}
-	// Peek at the node the profiler just staged for the caller. It lives in
-	// the callee's frame shadow; re-derive it the same way.
-	if n := mc.stagedReturn(fr, in); n != nil {
+	// The profiler just staged the return value's node for the caller to
+	// pop; read it there instead of re-deriving the popped frame's shadow.
+	if n := mc.Profiler.StagedReturn(); n != nil {
 		set := mc.retNodes[in.Method]
 		if set == nil {
 			set = make(map[*depgraph.Node]struct{}, 4)
@@ -48,16 +48,6 @@ func (mc *MethodCostTracker) BeforeReturn(in *ir.Instr, fr *interp.Frame) {
 		}
 		set[n] = struct{}{}
 	}
-}
-
-func (mc *MethodCostTracker) stagedReturn(fr *interp.Frame, in *ir.Instr) *depgraph.Node {
-	// The profiler's frame shadow holds, per local, the node that last
-	// wrote it; the returned value is local in.A.
-	nodes := mc.Profiler.ShadowNodes(fr)
-	if in.A < len(nodes) {
-		return nodes[in.A]
-	}
-	return nil
 }
 
 // MethodCost is the report entry for one method.
@@ -101,7 +91,7 @@ func relCostWithin(seed *depgraph.Node, m *ir.Method) int64 {
 	if seed == nil {
 		return 0
 	}
-	sum := seed.Freq
+	sum := seed.Freq()
 	visited := map[*depgraph.Node]struct{}{seed: {}}
 	stack := []*depgraph.Node{seed}
 	for len(stack) > 0 {
@@ -115,7 +105,7 @@ func relCostWithin(seed *depgraph.Node, m *ir.Method) int64 {
 			if d.ReadsHeap() || d.In.Method != m {
 				return
 			}
-			sum += d.Freq
+			sum += d.Freq()
 			stack = append(stack, d)
 		})
 	}

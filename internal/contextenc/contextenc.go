@@ -52,6 +52,16 @@ type ConflictTracker struct {
 	slots Slots
 	// perInstr[instrID][slot] = set of distinct encodings seen.
 	perInstr []map[int]map[Encoded]struct{}
+	// last[instrID] memoizes the most recent encoding observed at the
+	// instruction. Observation is idempotent set insertion, and contexts are
+	// loop-stable (a method body repeats under one chain), so the common
+	// repeat skips both map probes.
+	last []lastObs
+}
+
+type lastObs struct {
+	g    Encoded
+	seen bool
 }
 
 // NewConflictTracker returns a tracker for a program with numInstrs static
@@ -60,11 +70,17 @@ func NewConflictTracker(slots Slots, numInstrs int) *ConflictTracker {
 	return &ConflictTracker{
 		slots:    slots,
 		perInstr: make([]map[int]map[Encoded]struct{}, numInstrs),
+		last:     make([]lastObs, numInstrs),
 	}
 }
 
 // Observe records that instruction instrID executed under encoded context g.
 func (ct *ConflictTracker) Observe(instrID int, g Encoded) {
+	l := &ct.last[instrID]
+	if l.seen && l.g == g {
+		return
+	}
+	l.g, l.seen = g, true
 	m := ct.perInstr[instrID]
 	if m == nil {
 		m = make(map[int]map[Encoded]struct{}, 2)

@@ -345,7 +345,7 @@ func (a *Analysis) RankStructures(height int) []*StructureReport {
 			NRAB:      ben,
 			Rate:      Rate(cost, ben),
 			Consumed:  consumed,
-			AllocFreq: n.Freq,
+			AllocFreq: n.Freq(),
 		}
 	})
 	sort.Slice(out, func(i, j int) bool {
@@ -458,7 +458,7 @@ func MethodNodeCosts(g *depgraph.Graph, method *ir.Method) []NodeCostRow {
 		}
 		rows = append(rows, NodeCostRow{
 			Node:         n,
-			Freq:         n.Freq,
+			Freq:         n.Freq(),
 			AbstractCost: depgraph.AbstractCost(n),
 		})
 	})

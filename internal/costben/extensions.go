@@ -129,12 +129,12 @@ func (a *Analysis) CacheAnalysis(loc depgraph.Loc) *CacheReport {
 	rep := &CacheReport{Loc: loc}
 	var hracSum int64
 	a.G.StoresOf(loc, func(s *depgraph.Node) {
-		rep.Stores += s.Freq
-		rep.InsertCost += s.Freq
+		rep.Stores += s.Freq()
+		rep.InsertCost += s.Freq()
 		hracSum += a.HRAC(s)
 	})
 	a.G.LoadsOf(loc, func(l *depgraph.Node) {
-		rep.Loads += l.Freq
+		rep.Loads += l.Freq()
 	})
 	// HRAC includes the store nodes themselves; the cached values' own
 	// production cost is the remainder.

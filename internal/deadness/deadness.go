@@ -187,13 +187,13 @@ func analyzeLegacy(g *depgraph.Graph, totalInstances int64) *Result {
 		if n.IsConsumer() {
 			return
 		}
-		res.Instances += n.Freq
+		res.Instances += n.Freq()
 		switch out {
 		case OutDead:
-			res.DeadFreq += n.Freq
+			res.DeadFreq += n.Freq()
 			res.DeadNodes++
 		case OutPredicate:
-			res.PredFreq += n.Freq
+			res.PredFreq += n.Freq()
 		}
 	})
 	res.TotalInstances = totalInstances

@@ -154,7 +154,7 @@ func TestOutcomesExposed(t *testing.T) {
 	var consumerFreq int64
 	p.G.Nodes(func(n *depgraph.Node) {
 		if n.IsConsumer() {
-			consumerFreq += n.Freq
+			consumerFreq += n.Freq()
 		}
 	})
 	if res.Instances+consumerFreq != p.G.TotalFreq() {

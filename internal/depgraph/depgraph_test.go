@@ -38,8 +38,8 @@ func TestNodeInterningAndFreq(t *testing.T) {
 	if n1 == n3 {
 		t.Error("different d must give different nodes")
 	}
-	if n1.Freq != 2 || n3.Freq != 1 {
-		t.Errorf("freqs = %d, %d; want 2, 1", n1.Freq, n3.Freq)
+	if n1.Freq() != 2 || n3.Freq() != 1 {
+		t.Errorf("freqs = %d, %d; want 2, 1", n1.Freq(), n3.Freq())
 	}
 	if g.NumNodes() != 2 {
 		t.Errorf("NumNodes = %d, want 2", g.NumNodes())
@@ -81,7 +81,7 @@ func chainGraph(t testing.TB, freqs []int64) (*Graph, []*Node) {
 	nodes := make([]*Node, len(freqs))
 	for i := range freqs {
 		nodes[i] = g.Node(prog.Instrs[i], 0)
-		nodes[i].Freq = freqs[i]
+		nodes[i].SetFreq(freqs[i])
 		if i > 0 {
 			g.AddDep(nodes[i], nodes[i-1])
 		}
@@ -108,7 +108,7 @@ func TestAbstractCostSharedSubgraphCountsOnce(t *testing.T) {
 	d := g.Node(prog.Instrs[2], 0)
 	b := g.Node(prog.Instrs[3], 0)
 	for _, n := range []*Node{s, c, d, b} {
-		n.Freq = 1
+		n.SetFreq(1)
 	}
 	g.AddDep(c, s)
 	g.AddDep(d, s)
@@ -138,7 +138,10 @@ func TestHRACStopsAtHeapReads(t *testing.T) {
 	store := g.Node(findOp(prog, ir.OpStoreField), 0)
 	load.Eff = EffLoad
 	store.Eff = EffStore
-	load.Freq, comp1.Freq, comp2.Freq, store.Freq = 100, 7, 9, 3
+	load.SetFreq(100)
+	comp1.SetFreq(7)
+	comp2.SetFreq(9)
+	store.SetFreq(3)
 	g.AddDep(comp1, load)
 	g.AddDep(comp2, comp1)
 	g.AddDep(store, comp2)
@@ -158,7 +161,9 @@ func TestHRABStopsAtHeapWritesAndFlagsConsumers(t *testing.T) {
 	store := g.Node(findOp(prog, ir.OpStoreField), 0)
 	load.Eff = EffLoad
 	store.Eff = EffStore
-	load.Freq, comp.Freq, store.Freq = 5, 2, 50
+	load.SetFreq(5)
+	comp.SetFreq(2)
+	store.SetFreq(50)
 	g.AddDep(comp, load) // load used by comp
 	g.AddDep(store, comp)
 	sum, consumed := HRAB(load)
@@ -171,7 +176,7 @@ func TestHRABStopsAtHeapWritesAndFlagsConsumers(t *testing.T) {
 
 	// Now route the load into a predicate.
 	pred := g.Node(findOp(prog, ir.OpIf), NoContext)
-	pred.Freq = 10
+	pred.SetFreq(10)
 	g.AddDep(pred, load)
 	sum, consumed = HRAB(load)
 	if !consumed {

@@ -8,11 +8,13 @@ package depgraph
 // repeatedly walk the graph — the cost-benefit DP, deadness, ranking — run
 // over the snapshot instead of chasing per-node map entries.
 //
-// The snapshot is a pure read-model: it is valid as long as the graph is not
-// mutated through the Graph API (any such mutation invalidates the cached
-// snapshot, and the next Freeze rebuilds it). Mutating Node fields directly
-// — something only tests do — does not invalidate it; re-Freeze manually in
-// that case.
+// Snapshotting routes off the graph's intern list and per-location lists: a
+// permutation array maps intern IDs to canonical dense IDs, so no per-node
+// map is built. The snapshot is a pure read-model: it is valid as long as
+// the graph is not mutated through the Graph API (any such mutation
+// invalidates the cached snapshot, and the next Freeze rebuilds it).
+// Mutating Node fields directly — something only tests do — does not
+// invalidate it; re-Freeze manually in that case.
 
 import (
 	"sort"
@@ -64,7 +66,8 @@ type Snapshot struct {
 	ChildField []int32
 	Child      []int32
 
-	id    map[*Node]int32
+	// perm maps intern ID → dense ID for every node of the source graph.
+	perm  []int32
 	locID map[Loc]int32
 
 	memoMu sync.Mutex
@@ -96,17 +99,15 @@ func (g *Graph) Freeze() *Snapshot {
 	if g.frozen != nil {
 		return g.frozen
 	}
-	n := len(g.nodes)
+	n := len(g.all)
 	s := &Snapshot{G: g}
 
-	s.Nodes = make([]*Node, 0, n)
-	for _, nd := range g.nodes {
-		s.Nodes = append(s.Nodes, nd)
-	}
+	s.Nodes = make([]*Node, n)
+	copy(s.Nodes, g.all)
 	sort.Slice(s.Nodes, func(i, j int) bool { return nodeLess(s.Nodes[i], s.Nodes[j]) })
-	s.id = make(map[*Node]int32, n)
+	s.perm = make([]int32, n)
 	for i, nd := range s.Nodes {
-		s.id[nd] = int32(i)
+		s.perm[nd.id] = int32(i)
 	}
 
 	s.Freq = make([]int64, n)
@@ -115,16 +116,16 @@ func (g *Graph) Freeze() *Snapshot {
 	s.Consumer = make([]bool, n)
 	s.Predicate = make([]bool, n)
 	for i, nd := range s.Nodes {
-		s.Freq[i] = nd.Freq
+		s.Freq[i] = nd.Freq()
 		s.D[i] = int32(nd.D)
 		s.Eff[i] = nd.Eff
 		s.Consumer[i] = nd.IsConsumer()
 		s.Predicate[i] = nd.IsPredicate()
 	}
 
-	s.DepStart, s.Dep = s.buildAdj(func(nd *Node) *nodeSet { return &nd.deps })
-	s.UseStart, s.Use = s.buildAdj(func(nd *Node) *nodeSet { return &nd.uses })
-	s.RefStart, s.Ref = s.buildAdj(func(nd *Node) *nodeSet { return &nd.refs })
+	s.DepStart, s.Dep = s.buildAdj(func(nd *Node) *nodeSet { return &g.depSets[nd.id] })
+	s.UseStart, s.Use = s.buildAdj(func(nd *Node) *nodeSet { return &g.useSets[nd.id] })
+	s.RefStart, s.Ref = s.buildAdj(func(nd *Node) *nodeSet { return &g.refSets[nd.id] })
 	s.buildLocs()
 	s.buildChildren()
 
@@ -143,8 +144,8 @@ func (s *Snapshot) buildAdj(setOf func(*Node) *nodeSet) (start, data []int32) {
 	cursor := make([]int32, n)
 	copy(cursor, start[:n])
 	for i, nd := range s.Nodes {
-		setOf(nd).each(func(t *Node) {
-			data[cursor[i]] = s.id[t]
+		setOf(nd).each(s.G.all, func(t *Node) {
+			data[cursor[i]] = s.perm[t.id]
 			cursor[i]++
 		})
 	}
@@ -156,19 +157,29 @@ func (s *Snapshot) buildAdj(setOf func(*Node) *nodeSet) (start, data []int32) {
 }
 
 // buildLocs constructs the location table and the store/load and
-// fields-per-owner CSR indexes.
+// fields-per-owner CSR indexes. Only locations that were ever loaded or
+// stored appear (children-only entries are points-to structure, not heap
+// accesses).
 func (s *Snapshot) buildLocs() {
 	g := s.G
-	seen := make(map[Loc]struct{}, len(g.locStores)+len(g.locLoads))
-	for loc := range g.locStores {
-		seen[loc] = struct{}{}
-	}
-	for loc := range g.locLoads {
-		seen[loc] = struct{}{}
-	}
-	s.Locs = make([]Loc, 0, len(seen))
-	for loc := range seen {
-		s.Locs = append(s.Locs, loc)
+	if g.legacy {
+		seen := make(map[Loc]struct{}, len(g.locStores)+len(g.locLoads))
+		for loc := range g.locStores {
+			seen[loc] = struct{}{}
+		}
+		for loc := range g.locLoads {
+			seen[loc] = struct{}{}
+		}
+		s.Locs = make([]Loc, 0, len(seen))
+		for loc := range seen {
+			s.Locs = append(s.Locs, loc)
+		}
+	} else {
+		for i := range g.locEntries {
+			if g.locEntries[i].accessed {
+				s.Locs = append(s.Locs, g.locEntries[i].loc)
+			}
+		}
 	}
 	sort.Slice(s.Locs, func(i, j int) bool { return locLess(s.Locs[i], s.Locs[j]) })
 	s.locID = make(map[Loc]int32, len(s.Locs))
@@ -176,15 +187,20 @@ func (s *Snapshot) buildLocs() {
 		s.locID[loc] = int32(i)
 	}
 
-	s.StoreStart, s.Store = s.buildLocCSR(g.locStores)
-	s.LoadStart, s.Load = s.buildLocCSR(g.locLoads)
+	if g.legacy {
+		s.StoreStart, s.Store = s.buildLocCSRMap(g.locStores)
+		s.LoadStart, s.Load = s.buildLocCSRMap(g.locLoads)
+	} else {
+		s.StoreStart, s.Store = s.buildLocCSRList(func(e *locEntry) []int32 { return e.stores })
+		s.LoadStart, s.Load = s.buildLocCSRList(func(e *locEntry) []int32 { return e.loads })
+	}
 
 	// Locs is sorted by owner, so each owner's fields form a contiguous run.
 	n := len(s.Nodes)
 	s.OwnerFieldStart = make([]int32, n+1)
 	for _, loc := range s.Locs {
 		if loc.Alloc != nil {
-			s.OwnerFieldStart[s.id[loc.Alloc]+1]++
+			s.OwnerFieldStart[s.perm[loc.Alloc.id]+1]++
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -198,14 +214,14 @@ func (s *Snapshot) buildLocs() {
 		if loc.Alloc == nil {
 			continue
 		}
-		oi := s.id[loc.Alloc]
+		oi := s.perm[loc.Alloc.id]
 		s.OwnerField[cursor[oi]] = int32(loc.Field)
 		s.OwnerLoc[cursor[oi]] = int32(li)
 		cursor[oi]++
 	}
 }
 
-func (s *Snapshot) buildLocCSR(m map[Loc]map[*Node]struct{}) (start, data []int32) {
+func (s *Snapshot) buildLocCSRMap(m map[Loc]map[*Node]struct{}) (start, data []int32) {
 	nl := len(s.Locs)
 	start = make([]int32, nl+1)
 	for li, loc := range s.Locs {
@@ -215,7 +231,29 @@ func (s *Snapshot) buildLocCSR(m map[Loc]map[*Node]struct{}) (start, data []int3
 	for li, loc := range s.Locs {
 		i := start[li]
 		for n := range m[loc] {
-			data[i] = s.id[n]
+			data[i] = s.perm[n.id]
+			i++
+		}
+		row := data[start[li]:start[li+1]]
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+	}
+	return start, data
+}
+
+func (s *Snapshot) buildLocCSRList(rowOf func(*locEntry) []int32) (start, data []int32) {
+	g := s.G
+	nl := len(s.Locs)
+	start = make([]int32, nl+1)
+	for li, loc := range s.Locs {
+		e := &g.locEntries[g.locIDs[loc]]
+		start[li+1] = start[li] + int32(len(rowOf(e)))
+	}
+	data = make([]int32, start[nl])
+	for li, loc := range s.Locs {
+		e := &g.locEntries[g.locIDs[loc]]
+		i := start[li]
+		for _, id := range rowOf(e) {
+			data[i] = s.perm[id]
 			i++
 		}
 		row := data[start[li]:start[li+1]]
@@ -229,17 +267,30 @@ func (s *Snapshot) buildChildren() {
 	g := s.G
 	type pair struct{ owner, field, child int32 }
 	var pairs []pair
-	for loc, set := range g.ptChildren {
-		if loc.Alloc == nil {
-			// Statics hold references too, but the reference tree of
-			// Definition 7 is rooted at allocation nodes; static-held
-			// children are not reachable through an owner scan, matching
-			// the map-based Children helper.
-			continue
+	if g.legacy {
+		for loc, set := range g.ptChildren {
+			if loc.Alloc == nil {
+				// Statics hold references too, but the reference tree of
+				// Definition 7 is rooted at allocation nodes; static-held
+				// children are not reachable through an owner scan, matching
+				// the map-based Children helper.
+				continue
+			}
+			oi := s.perm[loc.Alloc.id]
+			for c := range set {
+				pairs = append(pairs, pair{oi, int32(loc.Field), s.perm[c.id]})
+			}
 		}
-		oi := s.id[loc.Alloc]
-		for c := range set {
-			pairs = append(pairs, pair{oi, int32(loc.Field), s.id[c]})
+	} else {
+		for i := range g.locEntries {
+			e := &g.locEntries[i]
+			if e.loc.Alloc == nil || e.children.len() == 0 {
+				continue
+			}
+			oi := s.perm[e.loc.Alloc.id]
+			e.children.each(g.all, func(c *Node) {
+				pairs = append(pairs, pair{oi, int32(e.loc.Field), s.perm[c.id]})
+			})
 		}
 	}
 	sort.Slice(pairs, func(i, j int) bool {
@@ -270,8 +321,14 @@ func (s *Snapshot) NumNodes() int { return len(s.Nodes) }
 
 // ID returns the dense ID of n and whether n belongs to the snapshot.
 func (s *Snapshot) ID(n *Node) (int32, bool) {
-	id, ok := s.id[n]
-	return id, ok
+	if n == nil || int(n.id) >= len(s.perm) {
+		return 0, false
+	}
+	id := s.perm[n.id]
+	if s.Nodes[id] != n {
+		return 0, false
+	}
+	return id, true
 }
 
 // LocID returns the dense index of loc in Locs and whether it exists.
@@ -305,7 +362,7 @@ func (s *Snapshot) loadsOf(loc Loc, f func(*Node)) {
 }
 
 func (s *Snapshot) fieldsOf(owner *Node, f func(field int)) {
-	oi, ok := s.id[owner]
+	oi, ok := s.ID(owner)
 	if !ok {
 		return
 	}
@@ -315,7 +372,7 @@ func (s *Snapshot) fieldsOf(owner *Node, f func(field int)) {
 }
 
 func (s *Snapshot) childrenOf(owner *Node, f func(field int, child *Node)) {
-	oi, ok := s.id[owner]
+	oi, ok := s.ID(owner)
 	if !ok {
 		return
 	}

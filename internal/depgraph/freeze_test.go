@@ -14,7 +14,7 @@ func buildDiamond(t *testing.T) (*Graph, []*Node) {
 	nodes := make([]*Node, 5)
 	for i := range nodes {
 		nodes[i] = g.Node(prog.Instrs[i], 0)
-		nodes[i].Freq = int64(i + 1)
+		nodes[i].SetFreq(int64(i + 1))
 	}
 	g.AddDep(nodes[1], nodes[0])
 	g.AddDep(nodes[2], nodes[0])
@@ -47,7 +47,7 @@ func TestFreezeCSRMatchesGraph(t *testing.T) {
 		if !ok || id != int32(i) {
 			t.Fatalf("ID(%v) = %d,%v want %d", nd.In.ID, id, ok, i)
 		}
-		if s.Freq[i] != nd.Freq || int(s.D[i]) != nd.D || s.Eff[i] != nd.Eff {
+		if s.Freq[i] != nd.Freq() || int(s.D[i]) != nd.D || s.Eff[i] != nd.Eff {
 			t.Fatalf("parallel arrays disagree with node %d", i)
 		}
 	}

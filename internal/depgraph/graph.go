@@ -13,11 +13,18 @@
 // Figure 4: an edge a → b ("a depends on b") means an instance of a read a
 // location whose last writer was an instance of b. Both directions are kept
 // so that cost (backward) and benefit (forward) traversals are linear.
+//
+// Two representations back the same API. The default dense representation
+// interns nodes through a flat (instruction × domain-element) index with an
+// arena for node records and append-only edge/location lists, so the online
+// profiler does no map operations on its hot path. The original map-backed
+// representation is kept behind NewLegacy as a differential reference.
 package depgraph
 
 import (
 	"fmt"
 	"sort"
+	"unsafe"
 
 	"lowutil/internal/ir"
 )
@@ -29,6 +36,19 @@ const NoContext = -1
 // ElemField is the pseudo field ID for array element locations (the paper's
 // O.ELM).
 const ElemField = -1
+
+// defaultMaxD is the largest domain element covered by the dense direct
+// index when the caller does not size the graph; it matches the facade's
+// default context-slot count (d ∈ [NoContext, 15]).
+const defaultMaxD = 15
+
+// arenaChunk caps the node records allocated per arena chunk; chunks grow
+// geometrically from arenaChunkMin so small graphs don't pay for a full
+// chunk up front.
+const (
+	arenaChunkMin = 16
+	arenaChunk    = 256
+)
 
 // EffectKind classifies a node's heap effect.
 type EffectKind uint8
@@ -77,14 +97,38 @@ func (l Loc) String() string {
 	}
 }
 
+// locRef is a node-side record of one abstract location the node accessed,
+// with the graph's dense index for it. The per-node lists are almost always
+// length one (a store instruction writes one abstract location per context),
+// so a linear scan replaces the per-event map probe of the legacy layout.
+type locRef struct {
+	loc Loc
+	li  int32
+}
+
+// Ref is a compact handle for a node within its graph: the intern ID plus
+// one, with 0 standing for "no node". Shadow locations (frame slots, object
+// fields, statics) store Refs instead of *Node so that the per-event shadow
+// updates are scalar stores — a pointer store into the heap pays the GC
+// hybrid write barrier whenever the collector is marking, a Ref store never
+// does. Resolve with Graph.At.
+type Ref int32
+
+// NilRef is the Ref of "no node" (the zero value).
+const NilRef Ref = 0
+
 // Node is an abstract instruction instance: a static instruction annotated
 // with an abstract-domain element.
 type Node struct {
 	In *ir.Instr
 	// D is the abstract-domain element (context slot for Gcost).
 	D int
-	// Freq is the number of concrete instruction instances mapped here.
-	Freq int64
+
+	// g is the owning graph; frequencies and edge sets live in dense
+	// id-indexed tables on the graph, not in the node record, so the
+	// profiler's per-event updates touch hot flat arrays instead of
+	// scattered records. Accessors resolve through g.
+	g *Graph
 
 	// Eff describes the node's heap effect; EffLoc is the location touched
 	// (meaningful for EffLoad/EffStore; for EffAlloc, EffLoc.Alloc is the
@@ -92,10 +136,24 @@ type Node struct {
 	Eff    EffectKind
 	EffLoc Loc
 
-	deps nodeSet // this node uses values defined by these
-	uses nodeSet // these nodes use values defined by this
-	refs nodeSet // reference edges: store node → base alloc node
+	// id is the intern order of the node within its graph; edge-set hashing
+	// and the frozen snapshot's dense permutation key off it.
+	id int32
+
+	// storeLocs/loadLocs record, in dense graphs, which locations this node
+	// was registered as storing/loading (the inverse of the graph's
+	// per-location lists, used for O(1) duplicate suppression).
+	storeLocs []locRef
+	loadLocs  []locRef
 }
+
+// Freq returns the number of concrete instruction instances mapped to this
+// node. Storage is the graph's dense frequency table, which the profiler
+// increments through its cached table view.
+func (n *Node) Freq() int64 { return n.g.freq[n.id] }
+
+// SetFreq overwrites the node's frequency (deserialization, tests).
+func (n *Node) SetFreq(v int64) { n.g.freq[n.id] = v }
 
 // IsConsumer reports whether the node is a predicate or native consumer.
 func (n *Node) IsConsumer() bool { return n.In.IsConsumer() }
@@ -111,19 +169,22 @@ func (n *Node) ReadsHeap() bool { return n.Eff == EffLoad }
 func (n *Node) WritesHeap() bool { return n.Eff == EffStore }
 
 // NumDeps returns the backward (use→def) degree.
-func (n *Node) NumDeps() int { return n.deps.len() }
+func (n *Node) NumDeps() int { return n.g.depSets[n.id].len() }
 
 // NumUses returns the forward (def→use) degree.
-func (n *Node) NumUses() int { return n.uses.len() }
+func (n *Node) NumUses() int { return n.g.useSets[n.id].len() }
 
 // Deps calls f for every node this node depends on.
-func (n *Node) Deps(f func(*Node)) { n.deps.each(f) }
+func (n *Node) Deps(f func(*Node)) { n.g.depSets[n.id].each(n.g.all, f) }
 
 // Uses calls f for every node that uses this node's values.
-func (n *Node) Uses(f func(*Node)) { n.uses.each(f) }
+func (n *Node) Uses(f func(*Node)) { n.g.useSets[n.id].each(n.g.all, f) }
 
 // RefEdges calls f for every reference edge out of this (store) node.
-func (n *Node) RefEdges(f func(*Node)) { n.refs.each(f) }
+func (n *Node) RefEdges(f func(*Node)) { n.g.refSets[n.id].each(n.g.all, f) }
+
+// Ref returns the node's compact handle for shadow storage.
+func (n *Node) Ref() Ref { return Ref(n.id + 1) }
 
 func (n *Node) String() string {
 	if n.D == NoContext {
@@ -137,47 +198,124 @@ type nodeKey struct {
 	d     int
 }
 
+// locEntry is the dense graph's per-location record: append-only store/load
+// node-ID lists (deduplicated through the node-side locRef lists) and the
+// points-to children set. accessed distinguishes locations that were ever
+// loaded or stored from children-only entries, matching the legacy Locs
+// semantics.
+type locEntry struct {
+	loc      Loc
+	stores   []int32
+	loads    []int32
+	children nodeSet
+	accessed bool
+}
+
 // Graph is a dependence graph under construction or analysis.
 type Graph struct {
-	Prog  *ir.Program
-	nodes map[nodeKey]*Node
+	Prog *ir.Program
+
+	// legacy selects the map-backed reference representation.
+	legacy bool
+	// width is the dense direct-index row width: domain elements in
+	// [-1, width-2] hit the flat index, everything else the overflow map.
+	// Legacy graphs record it too so ApproxBytes models both identically.
+	width int
+
+	// all lists every node in intern order (both representations); a node's
+	// id indexes this slice.
+	all []*Node
+	// freq holds node frequencies by intern id — a flat table so the
+	// profiler's per-event increment is one dense array write rather than a
+	// read-modify-write on a scattered node record.
+	freq []int64
+	// dep0 memoizes, by intern id, the first dep edge added to each node —
+	// the one-word probe AddDepRefs checks before falling into the full
+	// edge-set dedup. Loops re-add the same dep every iteration, and most
+	// value instructions have exactly one dep, so this catches nearly all
+	// re-adds with a single compare.
+	dep0 []Ref
+	// depSets/useSets/refSets hold the edge sets by intern id, keeping node
+	// records read-mostly while profiling (better GC mark locality too).
+	depSets []nodeSet
+	useSets []nodeSet
+	refSets []nodeSet
+	// arena is the current node-record chunk; appending never reallocates
+	// (chunks are replaced when full), so node pointers are stable.
+	arena []Node
+
+	// Dense intern index: idx[in.ID*width + d+1] holds intern id + 1, with 0
+	// meaning absent. overflow catches domain elements outside the direct
+	// range (the unabstracted baseline's occurrence indices, client
+	// encodings).
+	idx      []int32
+	overflow map[nodeKey]*Node
+
+	// Dense location tables.
+	locEntries []locEntry
+	locIDs     map[Loc]int32
+	lastLoc    Loc   // one-entry intern cache: consecutive events
+	lastLocID  int32 // usually touch the same abstract location
+	haveLast   bool
+
+	// Legacy representation.
+	nodes       map[nodeKey]*Node
+	ptChildren  map[Loc]map[*Node]struct{}
+	locStores   map[Loc]map[*Node]struct{}
+	locLoads    map[Loc]map[*Node]struct{}
+	locsByOwner map[*Node]map[int]struct{}
+
 	// edge counters (deduplicated)
 	numDep int
 	numRef int
-
-	// ptChildren records points-to structure for reference trees: for a
-	// location (owner alloc node, field) holding references, the set of
-	// allocation nodes of objects stored there.
-	ptChildren map[Loc]map[*Node]struct{}
-
-	// locStores and locLoads invert the heap-effect environment H: for each
-	// abstract location, the store nodes that wrote it and the load nodes
-	// that read it. RAC/RAB aggregation runs over these.
-	locStores map[Loc]map[*Node]struct{}
-	locLoads  map[Loc]map[*Node]struct{}
-	// locsByOwner indexes locations by their owning allocation node so
-	// object-level aggregation does not scan every location.
-	locsByOwner map[*Node]map[int]struct{}
 
 	// frozen caches the CSR snapshot of the graph; any mutation through the
 	// Graph API invalidates it. See Freeze.
 	frozen *Snapshot
 }
 
-// New returns an empty graph over prog.
-func New(prog *ir.Program) *Graph {
-	return &Graph{
-		Prog:        prog,
-		nodes:       make(map[nodeKey]*Node),
-		ptChildren:  make(map[Loc]map[*Node]struct{}),
-		locStores:   make(map[Loc]map[*Node]struct{}),
-		locLoads:    make(map[Loc]map[*Node]struct{}),
-		locsByOwner: make(map[*Node]map[int]struct{}),
+// New returns an empty dense graph over prog sized for the default context
+// domain.
+func New(prog *ir.Program) *Graph { return NewSized(prog, defaultMaxD, false) }
+
+// NewLegacy returns an empty map-backed graph over prog — the differential
+// reference for the dense representation.
+func NewLegacy(prog *ir.Program) *Graph { return NewSized(prog, defaultMaxD, true) }
+
+// NewSized returns an empty graph whose dense direct index covers domain
+// elements d ∈ [NoContext, maxD]; elements outside the range fall back to an
+// overflow map. legacy selects the map-backed representation (maxD then only
+// parameterizes the ApproxBytes model, keeping reports identical across
+// representations).
+func NewSized(prog *ir.Program, maxD int, legacy bool) *Graph {
+	if maxD < 0 {
+		maxD = 0
 	}
+	g := &Graph{
+		Prog:   prog,
+		legacy: legacy,
+		width:  maxD + 2,
+	}
+	if legacy {
+		g.nodes = make(map[nodeKey]*Node)
+		g.ptChildren = make(map[Loc]map[*Node]struct{})
+		g.locStores = make(map[Loc]map[*Node]struct{})
+		g.locLoads = make(map[Loc]map[*Node]struct{})
+		g.locsByOwner = make(map[*Node]map[int]struct{})
+		return g
+	}
+	g.idx = make([]int32, prog.NumInstrs()*g.width)
+	g.overflow = make(map[nodeKey]*Node)
+	g.locIDs = make(map[Loc]int32)
+	return g
 }
 
+// Legacy reports whether the graph uses the map-backed reference
+// representation.
+func (g *Graph) Legacy() bool { return g.legacy }
+
 // NumNodes returns the number of nodes (|V| of Table 1's #N column).
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return len(g.all) }
 
 // NumDepEdges returns the number of distinct def-use edges (#E).
 func (g *Graph) NumDepEdges() int { return g.numDep }
@@ -185,30 +323,148 @@ func (g *Graph) NumDepEdges() int { return g.numDep }
 // NumRefEdges returns the number of distinct reference edges.
 func (g *Graph) NumRefEdges() int { return g.numRef }
 
+// newNode appends a node record to the arena and registers it in the intern
+// list. Chunked allocation keeps a profile run at O(nodes/arenaChunk)
+// allocations instead of one per node.
+func (g *Graph) newNode(in *ir.Instr, d int) *Node {
+	if len(g.arena) == cap(g.arena) {
+		c := cap(g.arena) * 2
+		if c < arenaChunkMin {
+			c = arenaChunkMin
+		}
+		if c > arenaChunk {
+			c = arenaChunk
+		}
+		g.arena = make([]Node, 0, c)
+	}
+	g.arena = append(g.arena, Node{In: in, D: d, id: int32(len(g.all)), g: g})
+	n := &g.arena[len(g.arena)-1]
+	g.all = append(g.all, n)
+	g.freq = append(g.freq, 0)
+	g.dep0 = append(g.dep0, 0)
+	g.depSets = append(g.depSets, nodeSet{})
+	g.useSets = append(g.useSets, nodeSet{})
+	g.refSets = append(g.refSets, nodeSet{})
+	return n
+}
+
+// At resolves a shadow Ref to its node (nil for NilRef).
+func (g *Graph) At(r Ref) *Node {
+	if r == 0 {
+		return nil
+	}
+	return g.all[r-1]
+}
+
 // Node returns the node for (in, d), creating it if needed. It does not
 // touch Freq; call Touch for that.
 func (g *Graph) Node(in *ir.Instr, d int) *Node {
-	k := nodeKey{in.ID, d}
-	if n, ok := g.nodes[k]; ok {
+	if g.legacy {
+		k := nodeKey{in.ID, d}
+		if n, ok := g.nodes[k]; ok {
+			return n
+		}
+		n := g.newNode(in, d)
+		g.nodes[k] = n
+		g.Invalidate()
 		return n
 	}
-	n := &Node{In: in, D: d}
-	g.nodes[k] = n
-	g.frozen = nil
+	if dd := d + 1; uint(dd) < uint(g.width) {
+		slot := &g.idx[in.ID*g.width+dd]
+		if *slot != 0 {
+			return g.all[*slot-1]
+		}
+		n := g.newNode(in, d)
+		*slot = n.id + 1
+		g.Invalidate()
+		return n
+	}
+	k := nodeKey{in.ID, d}
+	if n, ok := g.overflow[k]; ok {
+		return n
+	}
+	n := g.newNode(in, d)
+	g.overflow[k] = n
+	g.Invalidate()
 	return n
 }
 
 // Lookup returns the node for (in, d) or nil.
 func (g *Graph) Lookup(in *ir.Instr, d int) *Node {
-	return g.nodes[nodeKey{in.ID, d}]
+	if g.legacy {
+		return g.nodes[nodeKey{in.ID, d}]
+	}
+	if dd := d + 1; uint(dd) < uint(g.width) {
+		if slot := g.idx[in.ID*g.width+dd]; slot != 0 {
+			return g.all[slot-1]
+		}
+		return nil
+	}
+	return g.overflow[nodeKey{in.ID, d}]
 }
 
 // Touch increments the node's frequency and returns it.
 func (g *Graph) Touch(in *ir.Instr, d int) *Node {
 	n := g.Node(in, d)
-	n.Freq++
-	g.frozen = nil
+	g.freq[n.id]++
+	g.Invalidate()
 	return n
+}
+
+// TouchFast is Touch without the per-event snapshot invalidation: the hot
+// profiling path calls it once per traced instruction and flushes the
+// invalidation in batch at call boundaries via Invalidate. Callers must
+// guarantee an Invalidate (or any mutating API call) happens before the next
+// Freeze observes the updated frequencies. The body is the dense direct-index
+// hit path, small enough to inline into the profiler's event switch; misses
+// and legacy graphs take touchSlow.
+func (g *Graph) TouchFast(in *ir.Instr, d int) *Node {
+	if dd := d + 1; !g.legacy && uint(dd) < uint(g.width) {
+		if v := g.idx[in.ID*g.width+dd]; v != 0 {
+			g.freq[v-1]++
+			return g.all[v-1]
+		}
+	}
+	return g.touchSlow(in, d)
+}
+
+// touchSlow is the intern-miss path of TouchFast.
+func (g *Graph) touchSlow(in *ir.Instr, d int) *Node {
+	n := g.Node(in, d)
+	g.freq[n.id]++
+	return n
+}
+
+// DenseTables is a caller-cached view of the dense intern index and
+// frequency table, letting the profiler's event loop run the intern hit path
+// (one index probe, one frequency increment) fully inlined without a call
+// into the graph. Idx[in.ID*Width + d+1] holds intern id + 1 (0 = absent) —
+// the same encoding as Ref — and Freq is indexed by intern id. Idx never
+// reallocates; Freq grows on intern, so the view must be re-fetched after
+// any miss. Empty for legacy graphs.
+type DenseTables struct {
+	Idx   []int32
+	Freq  []int64
+	Width int
+}
+
+// DenseTables returns the current dense-table view (see type doc).
+func (g *Graph) DenseTables() DenseTables {
+	if g.legacy {
+		return DenseTables{}
+	}
+	return DenseTables{Idx: g.idx, Freq: g.freq, Width: g.width}
+}
+
+// Invalidate drops the cached frozen snapshot so the next Freeze rebuilds
+// it. Mutating API calls do this implicitly; TouchFast batches it. The guard
+// matters on the hot path: the snapshot is usually already nil while
+// profiling, and an unconditional pointer store would pay the GC write
+// barrier on every dependence edge and call boundary.
+func (g *Graph) Invalidate() {
+	if g.frozen != nil {
+		g.frozen = nil
+	}
 }
 
 // AddDep records that 'from' used a value defined by 'to'. Self-loops
@@ -218,12 +474,63 @@ func (g *Graph) AddDep(from, to *Node) {
 	if from == nil || to == nil {
 		return
 	}
-	if !from.deps.add(to) {
+	if !g.depSets[from.id].add(to.id) {
 		return
 	}
-	to.uses.add(from)
+	g.useSets[to.id].add(from.id)
 	g.numDep++
-	g.frozen = nil
+	g.Invalidate()
+}
+
+// AddDepRef is AddDep with the dependency given as a shadow Ref — the form
+// the profiler's shadow locations store. Equivalent to
+// AddDep(from, g.At(r)); the Ref form avoids materializing the node pointer
+// on the hot path.
+func (g *Graph) AddDepRef(from *Node, r Ref) {
+	if from == nil || r == 0 {
+		return
+	}
+	to := int32(r - 1)
+	if !g.depSets[from.id].add(to) {
+		return
+	}
+	g.useSets[to].add(from.id)
+	g.numDep++
+	g.Invalidate()
+}
+
+// AddDepRefs is AddDep with both endpoints given as Refs — the profiler's
+// fast path, which works in Refs and never materializes node pointers for
+// value-producing events. from must be a valid Ref (obtained from Touch or
+// Node); to may be NilRef. Inside a loop the same dep edge is re-added every
+// iteration, so the duplicate check is the hot case: the dep0 memo (the
+// node's first dep edge, kept in a parallel array) catches it for single-dep
+// instrs and is small enough to inline into the tracer's event switch;
+// everything else (later members, genuinely new edges, NilRef) takes the
+// addDepRefsSlow call.
+func (g *Graph) AddDepRefs(from, to Ref) {
+	if g.dep0[from-1] == to {
+		return
+	}
+	g.addDepRefsSlow(from, to)
+}
+
+// addDepRefsSlow records a dep edge that missed the inline dup0 probe.
+func (g *Graph) addDepRefsSlow(from, to Ref) {
+	if to == 0 {
+		return
+	}
+	f := int32(from - 1)
+	added := g.depSets[f].add(int32(to - 1))
+	if g.dep0[f] == 0 {
+		g.dep0[f] = to
+	}
+	if !added {
+		return
+	}
+	g.useSets[to-1].add(f)
+	g.numDep++
+	g.Invalidate()
 }
 
 // AddRef records a reference edge from a field-store node to the allocation
@@ -232,25 +539,82 @@ func (g *Graph) AddRef(store, alloc *Node) {
 	if store == nil || alloc == nil {
 		return
 	}
-	if !store.refs.add(alloc) {
+	if !g.refSets[store.id].add(alloc.id) {
 		return
 	}
 	g.numRef++
-	g.frozen = nil
+	g.Invalidate()
+}
+
+// AddRefs is AddRef over Refs, for callers already holding intern IDs.
+func (g *Graph) AddRefs(store, alloc Ref) {
+	if store == 0 || alloc == 0 {
+		return
+	}
+	if !g.refSets[store-1].add(int32(alloc - 1)) {
+		return
+	}
+	g.numRef++
+	g.Invalidate()
+}
+
+// locIndex interns loc into the dense location table. The one-entry cache
+// makes the common store-then-child event pair (same location twice in a
+// row) bypass the map.
+func (g *Graph) locIndex(loc Loc) int32 {
+	if g.haveLast && loc == g.lastLoc {
+		return g.lastLocID
+	}
+	li, ok := g.locIDs[loc]
+	if !ok {
+		li = int32(len(g.locEntries))
+		g.locEntries = append(g.locEntries, locEntry{loc: loc})
+		g.locIDs[loc] = li
+	}
+	g.lastLoc, g.lastLocID, g.haveLast = loc, li, true
+	return li
 }
 
 // AddLocStore records that node n wrote abstract location loc.
 func (g *Graph) AddLocStore(loc Loc, n *Node) {
-	addToLocSet(g.locStores, loc, n)
-	g.indexLoc(loc)
-	g.frozen = nil
+	if g.legacy {
+		addToLocSet(g.locStores, loc, n)
+		g.indexLoc(loc)
+		g.Invalidate()
+		return
+	}
+	for i := range n.storeLocs {
+		if n.storeLocs[i].loc == loc {
+			return
+		}
+	}
+	li := g.locIndex(loc)
+	n.storeLocs = append(n.storeLocs, locRef{loc, li})
+	e := &g.locEntries[li]
+	e.stores = append(e.stores, n.id)
+	e.accessed = true
+	g.Invalidate()
 }
 
 // AddLocLoad records that node n read abstract location loc.
 func (g *Graph) AddLocLoad(loc Loc, n *Node) {
-	addToLocSet(g.locLoads, loc, n)
-	g.indexLoc(loc)
-	g.frozen = nil
+	if g.legacy {
+		addToLocSet(g.locLoads, loc, n)
+		g.indexLoc(loc)
+		g.Invalidate()
+		return
+	}
+	for i := range n.loadLocs {
+		if n.loadLocs[i].loc == loc {
+			return
+		}
+	}
+	li := g.locIndex(loc)
+	n.loadLocs = append(n.loadLocs, locRef{loc, li})
+	e := &g.locEntries[li]
+	e.loads = append(e.loads, n.id)
+	e.accessed = true
+	g.Invalidate()
 }
 
 func addToLocSet(m map[Loc]map[*Node]struct{}, loc Loc, n *Node) {
@@ -294,6 +658,16 @@ func sortedSetNodes(set map[*Node]struct{}) []*Node {
 	return out
 }
 
+// sortedIDNodes maps intern IDs to nodes sorted by nodeLess.
+func (g *Graph) sortedIDNodes(ids []int32) []*Node {
+	out := make([]*Node, len(ids))
+	for i, id := range ids {
+		out[i] = g.all[id]
+	}
+	sort.Slice(out, func(i, j int) bool { return nodeLess(out[i], out[j]) })
+	return out
+}
+
 // locLess orders abstract locations: statics first (by field), then by the
 // owning allocation node (nodeLess) and field.
 func locLess(a, b Loc) bool {
@@ -318,8 +692,16 @@ func (g *Graph) StoresOf(loc Loc, f func(*Node)) {
 		s.storesOf(loc, f)
 		return
 	}
-	for _, n := range sortedSetNodes(g.locStores[loc]) {
-		f(n)
+	if g.legacy {
+		for _, n := range sortedSetNodes(g.locStores[loc]) {
+			f(n)
+		}
+		return
+	}
+	if li, ok := g.locIDs[loc]; ok {
+		for _, n := range g.sortedIDNodes(g.locEntries[li].stores) {
+			f(n)
+		}
 	}
 }
 
@@ -330,8 +712,16 @@ func (g *Graph) LoadsOf(loc Loc, f func(*Node)) {
 		s.loadsOf(loc, f)
 		return
 	}
-	for _, n := range sortedSetNodes(g.locLoads[loc]) {
-		f(n)
+	if g.legacy {
+		for _, n := range sortedSetNodes(g.locLoads[loc]) {
+			f(n)
+		}
+		return
+	}
+	if li, ok := g.locIDs[loc]; ok {
+		for _, n := range g.sortedIDNodes(g.locEntries[li].loads) {
+			f(n)
+		}
 	}
 }
 
@@ -343,10 +733,20 @@ func (g *Graph) FieldsOf(owner *Node, f func(field int)) {
 		s.fieldsOf(owner, f)
 		return
 	}
-	set := g.locsByOwner[owner]
-	fields := make([]int, 0, len(set))
-	for field := range set {
-		fields = append(fields, field)
+	var fields []int
+	if g.legacy {
+		set := g.locsByOwner[owner]
+		fields = make([]int, 0, len(set))
+		for field := range set {
+			fields = append(fields, field)
+		}
+	} else {
+		for i := range g.locEntries {
+			e := &g.locEntries[i]
+			if e.accessed && e.loc.Alloc == owner {
+				fields = append(fields, e.loc.Field)
+			}
+		}
 	}
 	sort.Ints(fields)
 	for _, field := range fields {
@@ -363,15 +763,24 @@ func (g *Graph) Locs(f func(Loc)) {
 		}
 		return
 	}
-	seen := make(map[Loc]struct{}, len(g.locStores)+len(g.locLoads))
-	locs := make([]Loc, 0, len(seen))
-	for loc := range g.locStores {
-		seen[loc] = struct{}{}
-		locs = append(locs, loc)
-	}
-	for loc := range g.locLoads {
-		if _, dup := seen[loc]; !dup {
+	var locs []Loc
+	if g.legacy {
+		seen := make(map[Loc]struct{}, len(g.locStores)+len(g.locLoads))
+		locs = make([]Loc, 0, len(seen))
+		for loc := range g.locStores {
+			seen[loc] = struct{}{}
 			locs = append(locs, loc)
+		}
+		for loc := range g.locLoads {
+			if _, dup := seen[loc]; !dup {
+				locs = append(locs, loc)
+			}
+		}
+	} else {
+		for i := range g.locEntries {
+			if g.locEntries[i].accessed {
+				locs = append(locs, g.locEntries[i].loc)
+			}
 		}
 	}
 	sort.Slice(locs, func(i, j int) bool { return locLess(locs[i], locs[j]) })
@@ -386,13 +795,19 @@ func (g *Graph) AddChild(loc Loc, child *Node) {
 	if child == nil {
 		return
 	}
-	set := g.ptChildren[loc]
-	if set == nil {
-		set = make(map[*Node]struct{}, 2)
-		g.ptChildren[loc] = set
+	if g.legacy {
+		set := g.ptChildren[loc]
+		if set == nil {
+			set = make(map[*Node]struct{}, 2)
+			g.ptChildren[loc] = set
+		}
+		set[child] = struct{}{}
+		g.Invalidate()
+		return
 	}
-	set[child] = struct{}{}
-	g.frozen = nil
+	li := g.locIndex(loc)
+	g.locEntries[li].children.add(child.id)
+	g.Invalidate()
 }
 
 // Children calls f for every (field, child allocation node) pair recorded
@@ -407,12 +822,24 @@ func (g *Graph) Children(owner *Node, f func(field int, child *Node)) {
 		child *Node
 	}
 	var pairs []pair
-	for loc, set := range g.ptChildren {
-		if loc.Alloc != owner {
-			continue
+	if g.legacy {
+		for loc, set := range g.ptChildren {
+			if loc.Alloc != owner {
+				continue
+			}
+			for c := range set {
+				pairs = append(pairs, pair{loc.Field, c})
+			}
 		}
-		for c := range set {
-			pairs = append(pairs, pair{loc.Field, c})
+	} else {
+		for i := range g.locEntries {
+			e := &g.locEntries[i]
+			if e.loc.Alloc != owner {
+				continue
+			}
+			e.children.each(g.all, func(c *Node) {
+				pairs = append(pairs, pair{e.loc.Field, c})
+			})
 		}
 	}
 	sort.Slice(pairs, func(i, j int) bool {
@@ -436,35 +863,24 @@ func (g *Graph) Nodes(f func(*Node)) {
 		}
 		return
 	}
-	keys := make([]nodeKey, 0, len(g.nodes))
-	for k := range g.nodes {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].instr != keys[j].instr {
-			return keys[i].instr < keys[j].instr
-		}
-		return keys[i].d < keys[j].d
-	})
-	for _, k := range keys {
-		f(g.nodes[k])
+	sorted := make([]*Node, len(g.all))
+	copy(sorted, g.all)
+	sort.Slice(sorted, func(i, j int) bool { return nodeLess(sorted[i], sorted[j]) })
+	for _, n := range sorted {
+		f(n)
 	}
 }
 
 // NodesOf returns all nodes of a given static instruction, ordered by
 // context slot.
 func (g *Graph) NodesOf(in *ir.Instr) []*Node {
-	var keys []nodeKey
-	for k := range g.nodes {
-		if k.instr == in.ID {
-			keys = append(keys, k)
+	var out []*Node
+	for _, n := range g.all {
+		if n.In.ID == in.ID {
+			out = append(out, n)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].d < keys[j].d })
-	out := make([]*Node, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, g.nodes[k])
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].D < out[j].D })
 	return out
 }
 
@@ -472,17 +888,87 @@ func (g *Graph) NodesOf(in *ir.Instr) []*Node {
 // instances that created dependence-graph activity.
 func (g *Graph) TotalFreq() int64 {
 	var t int64
-	for _, n := range g.nodes {
-		t += n.Freq
+	for _, f := range g.freq {
+		t += f
 	}
 	return t
 }
 
 // ApproxBytes estimates the memory footprint of the graph in bytes, the
-// analogue of Table 1's M(Mb) column: node records plus deduplicated edge
-// entries (dep edges are stored in both directions).
+// analogue of Table 1's M(Mb) column. The model follows the dense layout —
+// arena node records, the flat intern index, append-only edge and location
+// lists with their dedup-table slack — and is computed from representation-
+// independent counts, so legacy and dense graphs over the same profile
+// report the same figure (reports stay byte-identical across engines).
 func (g *Graph) ApproxBytes() int64 {
-	const nodeBytes = 96 // Node struct + map headers, amortized
-	const edgeBytes = 16 // one map entry per direction ≈ 2×8
-	return int64(len(g.nodes))*nodeBytes + int64(g.numDep)*2*edgeBytes + int64(g.numRef)*edgeBytes
+	var (
+		nodeBytes = int64(unsafe.Sizeof(Node{}))
+		setBytes  = int64(unsafe.Sizeof(nodeSet{}))
+		locBytes  = int64(unsafe.Sizeof(locEntry{}))
+		locRefSz  = int64(unsafe.Sizeof(locRef{}))
+	)
+	const (
+		listEntry  = 4 // one int32 edge-list slot
+		tableSlack = 4 // amortized dedup-table share per spilled entry
+		mapEntry   = 48
+		ptrEntry   = 8
+	)
+
+	nLocs, nStores, nLoads, nChildren, nOverflow := g.locStats()
+
+	// Per node: the arena record plus its slots in the parallel tables —
+	// the intern-list pointer, the frequency word, the dep0 memo, and the
+	// three edge-set headers. The parallel tables are append-grown by
+	// doubling, so their live capacity (and the bytes a build actually
+	// allocates) runs up to 2× the entry count; the factor charges that
+	// slack. Arena chunks are replaced, not copied, so node records are
+	// charged at size.
+	perNode := nodeBytes + 2*(ptrEntry+8+4+3*setBytes)
+	b := int64(len(g.all)) * perNode
+	b += int64(g.Prog.NumInstrs()*g.width) * 4 // flat intern index
+	b += int64(nOverflow) * mapEntry
+	b += int64(g.numDep) * 2 * (listEntry + tableSlack) // both directions
+	b += int64(g.numRef) * (listEntry + tableSlack)
+	b += int64(nLocs) * locBytes
+	// Store/load registrations appear twice: an int32 in the per-location
+	// list and a locRef in the node-side dedup list.
+	b += int64(nStores+nLoads) * (4 + locRefSz)
+	b += int64(nChildren) * (listEntry + tableSlack)
+	return b
+}
+
+// locStats counts location-table entries identically for both
+// representations.
+func (g *Graph) locStats() (nLocs, nStores, nLoads, nChildren, nOverflow int) {
+	if g.legacy {
+		seen := make(map[Loc]struct{}, len(g.locStores)+len(g.locLoads)+len(g.ptChildren))
+		for loc, set := range g.locStores {
+			seen[loc] = struct{}{}
+			nStores += len(set)
+		}
+		for loc, set := range g.locLoads {
+			seen[loc] = struct{}{}
+			nLoads += len(set)
+		}
+		for loc, set := range g.ptChildren {
+			seen[loc] = struct{}{}
+			nChildren += len(set)
+		}
+		nLocs = len(seen)
+		for _, n := range g.all {
+			if dd := n.D + 1; uint(dd) >= uint(g.width) {
+				nOverflow++
+			}
+		}
+		return
+	}
+	nLocs = len(g.locEntries)
+	for i := range g.locEntries {
+		e := &g.locEntries[i]
+		nStores += len(e.stores)
+		nLoads += len(e.loads)
+		nChildren += e.children.len()
+	}
+	nOverflow = len(g.overflow)
+	return
 }

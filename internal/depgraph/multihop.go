@@ -21,7 +21,7 @@ func HRACK(n *Node, hops int) int64 {
 		n      *Node
 		budget int
 	}
-	sum := n.Freq
+	sum := n.Freq()
 	// best[n] = highest remaining budget n was visited with; a node is
 	// re-traversed only with a strictly higher budget, and its frequency is
 	// counted exactly once.
@@ -45,7 +45,7 @@ func HRACK(n *Node, hops int) int64 {
 			best[d] = budget
 			if !counted[d] {
 				counted[d] = true
-				sum += d.Freq
+				sum += d.Freq()
 			}
 			stack = append(stack, item{d, budget})
 		})
@@ -64,7 +64,7 @@ func HRABK(n *Node, hops int) (int64, bool) {
 		n      *Node
 		budget int
 	}
-	sum := n.Freq
+	sum := n.Freq()
 	consumed := false
 	best := map[*Node]int{n: hops}
 	counted := map[*Node]bool{n: true}
@@ -77,7 +77,7 @@ func HRABK(n *Node, hops int) (int64, bool) {
 			if u.IsConsumer() {
 				if !counted[u] {
 					counted[u] = true
-					sum += u.Freq
+					sum += u.Freq()
 				}
 				consumed = true
 				return // sinks
@@ -94,7 +94,7 @@ func HRABK(n *Node, hops int) (int64, bool) {
 			best[u] = budget
 			if !counted[u] {
 				counted[u] = true
-				sum += u.Freq
+				sum += u.Freq()
 			}
 			stack = append(stack, item{u, budget})
 		})

@@ -14,7 +14,7 @@ func randGraph(t testing.TB, n int, edges []uint16, effs []uint8) (*Graph, []*No
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		nodes[i] = g.Node(prog.Instrs[i], 0)
-		nodes[i].Freq = int64(i + 1)
+		nodes[i].SetFreq(int64(i + 1))
 		if i < len(effs) {
 			switch effs[i] % 4 {
 			case 1:
@@ -98,7 +98,7 @@ func TestMultiHopChainExact(t *testing.T) {
 	mk := func(i int, eff EffectKind, freq int64) *Node {
 		n := g.Node(prog.Instrs[i], 0)
 		n.Eff = eff
-		n.Freq = freq
+		n.SetFreq(freq)
 		return n
 	}
 	load1 := mk(0, EffLoad, 1)

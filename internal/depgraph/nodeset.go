@@ -1,65 +1,94 @@
 package depgraph
 
-// nodeSet is the edge-set representation behind Node.deps/uses/refs. Most
-// nodes have a handful of edges, so the set starts as a small slice with
-// linear-scan dedup and spills to a map only past setSpillThreshold. This
-// keeps the profiler hot path (AddDep on every traced instruction) free of
-// map allocation for the common case.
+// nodeSet is the edge-set representation behind Node.deps/uses/refs and the
+// dense graph's points-to children. Members are intern IDs, not pointers:
+// the profiler performs an AddDep for every traced instruction, and int32
+// appends keep that path free of GC write barriers (a pointer store into a
+// heap-allocated edge list pays the hybrid barrier whenever the collector
+// is marking). Most nodes have a handful of edges, so the set is an
+// append-only slice with linear-scan dedup; past setSpillThreshold a compact
+// open-addressing table takes over the duplicate check while the slice keeps
+// the members in insertion order. This keeps the hot path free of map
+// operations, and makes iteration deterministic in both regimes.
 type nodeSet struct {
-	small []*Node
-	spill map[*Node]struct{}
+	list []int32 // member intern IDs, insertion order
+	tab  []int32 // open-addressing dedup index (id+1), power-of-two, 0 = empty
 }
 
-// setSpillThreshold is the slice length past which a nodeSet converts to a
-// map. Linear scans up to this length are cheaper than map probes.
+// setSpillThreshold is the list length past which a nodeSet builds its dedup
+// table. Linear scans up to this length are cheaper than hash probes.
 const setSpillThreshold = 8
 
-// add inserts n and reports whether it was not already present.
-func (s *nodeSet) add(n *Node) bool {
-	if s.spill != nil {
-		if _, dup := s.spill[n]; dup {
-			return false
+// hashID scatters an intern ID over the table (Fibonacci hashing).
+func hashID(id uint32) uint32 {
+	return id * 2654435769
+}
+
+// add inserts the node with intern ID id and reports whether it was not
+// already present.
+func (s *nodeSet) add(id int32) bool {
+	if s.tab == nil {
+		for _, m := range s.list {
+			if m == id {
+				return false
+			}
 		}
-		s.spill[n] = struct{}{}
+		s.list = append(s.list, id)
+		if len(s.list) > setSpillThreshold {
+			s.grow(4 * setSpillThreshold)
+		}
 		return true
 	}
-	for _, m := range s.small {
-		if m == n {
+	mask := uint32(len(s.tab) - 1)
+	h := hashID(uint32(id)) & mask
+	for s.tab[h] != 0 {
+		if s.tab[h] == id+1 {
 			return false
 		}
+		h = (h + 1) & mask
 	}
-	if len(s.small) < setSpillThreshold {
-		s.small = append(s.small, n)
-		return true
+	s.tab[h] = id + 1
+	s.list = append(s.list, id)
+	if 4*len(s.list) >= 3*len(s.tab) {
+		s.grow(2 * len(s.tab))
 	}
-	s.spill = make(map[*Node]struct{}, 2*setSpillThreshold)
-	for _, m := range s.small {
-		s.spill[m] = struct{}{}
-	}
-	s.small = nil
-	s.spill[n] = struct{}{}
 	return true
 }
 
-// len returns the set size.
-func (s *nodeSet) len() int {
-	if s.spill != nil {
-		return len(s.spill)
+// hasTab reports membership via the dedup table. Callers must have checked
+// that the table exists.
+func (s *nodeSet) hasTab(id int32) bool {
+	mask := uint32(len(s.tab) - 1)
+	h := hashID(uint32(id)) & mask
+	for s.tab[h] != 0 {
+		if s.tab[h] == id+1 {
+			return true
+		}
+		h = (h + 1) & mask
 	}
-	return len(s.small)
+	return false
 }
 
-// each calls f for every member. Iteration order is the insertion order
-// while small and map order after spilling; callers that need determinism
-// go through the frozen CSR snapshot instead.
-func (s *nodeSet) each(f func(*Node)) {
-	if s.spill != nil {
-		for n := range s.spill {
-			f(n)
+// grow (re)builds the dedup table at the given power-of-two capacity.
+func (s *nodeSet) grow(capacity int) {
+	s.tab = make([]int32, capacity)
+	mask := uint32(capacity - 1)
+	for _, m := range s.list {
+		h := hashID(uint32(m)) & mask
+		for s.tab[h] != 0 {
+			h = (h + 1) & mask
 		}
-		return
+		s.tab[h] = m + 1
 	}
-	for _, n := range s.small {
-		f(n)
+}
+
+// len returns the set size.
+func (s *nodeSet) len() int { return len(s.list) }
+
+// each calls f for every member, in insertion order, resolving IDs through
+// the graph's intern list.
+func (s *nodeSet) each(all []*Node, f func(*Node)) {
+	for _, id := range s.list {
+		f(all[id])
 	}
 }

@@ -10,11 +10,11 @@ package depgraph
 // condensation.
 func (g *Graph) SCC() (comps [][]*Node, compOf map[*Node]int) {
 	const unvisited = 0
-	index := make(map[*Node]int32, len(g.nodes))
-	low := make(map[*Node]int32, len(g.nodes))
-	onStack := make(map[*Node]bool, len(g.nodes))
+	index := make(map[*Node]int32, len(g.all))
+	low := make(map[*Node]int32, len(g.all))
+	onStack := make(map[*Node]bool, len(g.all))
 	var stack []*Node
-	compOf = make(map[*Node]int, len(g.nodes))
+	compOf = make(map[*Node]int, len(g.all))
 	next := int32(1)
 
 	type frame struct {
@@ -24,14 +24,14 @@ func (g *Graph) SCC() (comps [][]*Node, compOf map[*Node]int) {
 	}
 
 	succsOf := func(n *Node) []*Node {
-		out := make([]*Node, 0, n.uses.len())
-		n.uses.each(func(u *Node) {
+		out := make([]*Node, 0, g.useSets[n.id].len())
+		g.useSets[n.id].each(g.all, func(u *Node) {
 			out = append(out, u)
 		})
 		return out
 	}
 
-	for _, root := range g.nodes {
+	for _, root := range g.all {
 		if index[root] != unvisited {
 			continue
 		}

@@ -56,10 +56,8 @@ type serialLocEdge struct {
 // Encode serializes the graph. The output is deterministic: nodes are
 // ordered by (instruction, d) and edge lists are sorted.
 func (g *Graph) Encode(w io.Writer) error {
-	nodes := make([]*Node, 0, len(g.nodes))
-	for _, n := range g.nodes {
-		nodes = append(nodes, n)
-	}
+	nodes := make([]*Node, len(g.all))
+	copy(nodes, g.all)
 	sort.Slice(nodes, func(i, j int) bool {
 		if nodes[i].In.ID != nodes[j].In.ID {
 			return nodes[i].In.ID < nodes[j].In.ID
@@ -86,15 +84,15 @@ func (g *Graph) Encode(w io.Writer) error {
 		sg.Nodes = append(sg.Nodes, serialNode{
 			Instr:    n.In.ID,
 			D:        n.D,
-			Freq:     n.Freq,
+			Freq:     n.Freq(),
 			Eff:      uint8(n.Eff),
 			EffAlloc: nodeIdx(n.EffLoc.Alloc),
 			EffField: n.EffLoc.Field,
 		})
-		n.deps.each(func(d *Node) {
+		g.depSets[n.id].each(g.all, func(d *Node) {
 			sg.DepEdges = append(sg.DepEdges, [2]int{idx[n], idx[d]})
 		})
-		n.refs.each(func(r *Node) {
+		g.refSets[n.id].each(g.all, func(r *Node) {
 			sg.RefEdges = append(sg.RefEdges, [2]int{idx[n], idx[r]})
 		})
 	}
@@ -109,13 +107,7 @@ func (g *Graph) Encode(w io.Writer) error {
 	sortPairs(sg.DepEdges)
 	sortPairs(sg.RefEdges)
 
-	locEdges := func(m map[Loc]map[*Node]struct{}) []serialLocEdge {
-		var out []serialLocEdge
-		for loc, set := range m {
-			for n := range set {
-				out = append(out, serialLocEdge{Alloc: nodeIdx(loc.Alloc), Field: loc.Field, Node: idx[n]})
-			}
-		}
+	sortLocEdges := func(out []serialLocEdge) []serialLocEdge {
 		sort.Slice(out, func(i, j int) bool {
 			if out[i].Alloc != out[j].Alloc {
 				return out[i].Alloc < out[j].Alloc
@@ -127,9 +119,38 @@ func (g *Graph) Encode(w io.Writer) error {
 		})
 		return out
 	}
-	sg.Children = locEdges(g.ptChildren)
-	sg.LocStores = locEdges(g.locStores)
-	sg.LocLoads = locEdges(g.locLoads)
+	if g.legacy {
+		locEdges := func(m map[Loc]map[*Node]struct{}) []serialLocEdge {
+			var out []serialLocEdge
+			for loc, set := range m {
+				for n := range set {
+					out = append(out, serialLocEdge{Alloc: nodeIdx(loc.Alloc), Field: loc.Field, Node: idx[n]})
+				}
+			}
+			return sortLocEdges(out)
+		}
+		sg.Children = locEdges(g.ptChildren)
+		sg.LocStores = locEdges(g.locStores)
+		sg.LocLoads = locEdges(g.locLoads)
+	} else {
+		var children, stores, loads []serialLocEdge
+		for i := range g.locEntries {
+			e := &g.locEntries[i]
+			a, f := nodeIdx(e.loc.Alloc), e.loc.Field
+			e.children.each(g.all, func(c *Node) {
+				children = append(children, serialLocEdge{Alloc: a, Field: f, Node: idx[c]})
+			})
+			for _, id := range e.stores {
+				stores = append(stores, serialLocEdge{Alloc: a, Field: f, Node: idx[g.all[id]]})
+			}
+			for _, id := range e.loads {
+				loads = append(loads, serialLocEdge{Alloc: a, Field: f, Node: idx[g.all[id]]})
+			}
+		}
+		sg.Children = sortLocEdges(children)
+		sg.LocStores = sortLocEdges(stores)
+		sg.LocLoads = sortLocEdges(loads)
+	}
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(&sg)
@@ -157,7 +178,7 @@ func Decode(r io.Reader, prog *ir.Program) (*Graph, error) {
 			return nil, fmt.Errorf("depgraph: node %d references bad instruction %d", i, sn.Instr)
 		}
 		n := g.Node(prog.Instrs[sn.Instr], sn.D)
-		n.Freq = sn.Freq
+		n.SetFreq(sn.Freq)
 		n.Eff = EffectKind(sn.Eff)
 		nodes[i] = n
 	}

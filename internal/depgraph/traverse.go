@@ -18,7 +18,7 @@ func BackwardSlice(seed *Node) map[*Node]struct{} {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n.deps.each(func(d *Node) {
+		n.g.depSets[n.id].each(n.g.all, func(d *Node) {
 			if _, ok := visited[d]; !ok {
 				visited[d] = struct{}{}
 				stack = append(stack, d)
@@ -36,7 +36,7 @@ func ForwardSlice(seed *Node) map[*Node]struct{} {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n.uses.each(func(u *Node) {
+		n.g.useSets[n.id].each(n.g.all, func(u *Node) {
 			if _, ok := visited[u]; !ok {
 				visited[u] = struct{}{}
 				stack = append(stack, u)
@@ -51,7 +51,7 @@ func ForwardSlice(seed *Node) map[*Node]struct{} {
 func AbstractCost(n *Node) int64 {
 	var sum int64
 	for m := range BackwardSlice(n) {
-		sum += m.Freq
+		sum += m.Freq()
 	}
 	return sum
 }
@@ -61,13 +61,13 @@ func AbstractCost(n *Node) int64 {
 // node. Heap readers terminate the walk and are not counted; n itself is
 // always counted.
 func HRAC(n *Node) int64 {
-	sum := n.Freq
+	sum := n.Freq()
 	visited := map[*Node]struct{}{n: {}}
 	stack := []*Node{n}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		cur.deps.each(func(d *Node) {
+		cur.g.depSets[cur.id].each(cur.g.all, func(d *Node) {
 			if _, ok := visited[d]; ok {
 				return
 			}
@@ -75,7 +75,7 @@ func HRAC(n *Node) int64 {
 			if d.ReadsHeap() {
 				return // hop boundary: uncounted, untraversed
 			}
-			sum += d.Freq
+			sum += d.Freq()
 			stack = append(stack, d)
 		})
 	}
@@ -88,26 +88,26 @@ func HRAC(n *Node) int64 {
 // second result reports whether the walk reached a consumer (predicate or
 // native) node, in which case the paper assigns the location a large RAB.
 func HRAB(n *Node) (sum int64, consumed bool) {
-	sum = n.Freq
+	sum = n.Freq()
 	visited := map[*Node]struct{}{n: {}}
 	stack := []*Node{n}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		cur.uses.each(func(u *Node) {
+		cur.g.useSets[cur.id].each(cur.g.all, func(u *Node) {
 			if _, ok := visited[u]; ok {
 				return
 			}
 			visited[u] = struct{}{}
 			if u.IsConsumer() {
 				consumed = true
-				sum += u.Freq
+				sum += u.Freq()
 				return // consumers are sinks
 			}
 			if u.WritesHeap() {
 				return // hop boundary: uncounted, untraversed
 			}
-			sum += u.Freq
+			sum += u.Freq()
 			stack = append(stack, u)
 		})
 	}
@@ -119,7 +119,7 @@ func HRAB(n *Node) (sum int64, consumed bool) {
 func SliceFreq(set map[*Node]struct{}) int64 {
 	var sum int64
 	for n := range set {
-		sum += n.Freq
+		sum += n.Freq()
 	}
 	return sum
 }

@@ -44,8 +44,14 @@ type Machine struct {
 	// Prune, when non-nil, is indexed by ir.Instr.ID: marked instructions
 	// execute normally but their events are not reported to the Tracer.
 	// Produced by staticanalysis.PruneSet; valid only for tracers that
-	// ignore base-pointer flow (thin slicing).
+	// ignore base-pointer flow (thin slicing). Must be set before the first
+	// Run/CallMethod: the handler-table dispatcher folds it into the
+	// per-method tables it builds on first entry.
 	Prune []bool
+	// LegacyDispatch selects the original switch-based interpreter loop
+	// instead of the pre-decoded handler tables. It is the differential
+	// reference for the handler-table + inline-cache engine.
+	LegacyDispatch bool
 
 	// Statics holds static-field storage, indexed by StaticField.Slot.
 	Statics []Value
@@ -64,12 +70,32 @@ type Machine struct {
 	AssertFailures int64
 	// PrunedEvents counts tracer events suppressed by Prune.
 	PrunedEvents int64
+	// ICHits/ICMisses count virtual dispatches resolved by the inline
+	// caches vs. through the method-name lookup (handler-table engine only).
+	ICHits   int64
+	ICMisses int64
 
 	frames     []*Frame
 	rng        uint64
 	clock      int64
 	seq        int64
 	lastReturn Value
+
+	// Handler-table engine state: machine-local views of the per-method
+	// dispatch tables (shared per program via ir.Program.TabCache, or
+	// private when Prune is set), the per-method inline-cache slices (always
+	// machine-private — the only mutable dispatch state), the base frame
+	// index of the innermost loopUntil, and the single reusable event record
+	// handed to the tracer. All indexed by Method.ID, built lazily.
+	tabs     [][]dinstr
+	ics      [][]icSite
+	loopBase int
+	ev       Event
+
+	// framePool recycles frames popped by the return handlers. A popped
+	// frame is never revisited, so pushCall reuses the record and its locals
+	// slice; frames abandoned on error paths are simply dropped.
+	framePool []*Frame
 }
 
 // New returns a Machine for prog with default limits.
@@ -174,6 +200,9 @@ func (m *Machine) Run() error {
 		Locals: make([]Value, m.Prog.Main.NumLocals),
 		RetDst: -1,
 	}
+	if !m.LegacyDispatch {
+		entry.tab, entry.ics = m.methodTab(entry.Method)
+	}
 	m.frames = append(m.frames[:0], entry)
 	if m.Tracer != nil {
 		m.Tracer.EnterMethod(entry, nil)
@@ -202,6 +231,9 @@ func (m *Machine) CallMethod(method *ir.Method, args ...Value) (Value, error) {
 		return Null, fmt.Errorf("interp: %s takes %d args, got %d", method.QualifiedName(), method.Params, len(args))
 	}
 	fr := &Frame{Method: method, Locals: make([]Value, method.NumLocals), RetDst: -1}
+	if !m.LegacyDispatch {
+		fr.tab, fr.ics = m.methodTab(method)
+	}
 	copy(fr.Locals, args)
 	base := len(m.frames)
 	m.frames = append(m.frames, fr)
@@ -222,6 +254,44 @@ func (m *Machine) loop() error { return m.loopUntil(0) }
 
 // loopUntil runs until the frame stack shrinks below base.
 func (m *Machine) loopUntil(base int) error {
+	if m.LegacyDispatch {
+		return m.loopLegacy(base)
+	}
+	prevBase := m.loopBase
+	m.loopBase = base
+	defer func() { m.loopBase = prevBase }()
+	var done <-chan struct{}
+	if m.Ctx != nil {
+		done = m.Ctx.Done()
+	}
+	for len(m.frames) > base {
+		fr := m.frames[len(m.frames)-1]
+		if uint(fr.PC) >= uint(len(fr.tab)) {
+			return m.fail(ErrType, nil, fr, "pc %d out of range in %s", fr.PC, fr.Method.QualifiedName())
+		}
+		d := &fr.tab[fr.PC]
+		m.Steps++
+		if m.Steps > m.MaxSteps {
+			return m.fail(ErrStepLimit, d.in, fr, "after %d steps", m.Steps-1)
+		}
+		if done != nil && m.Steps&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				err := m.fail(ErrCanceled, d.in, fr, "after %d steps", m.Steps)
+				err.(*VMError).Cause = m.Ctx.Err()
+				return err
+			default:
+			}
+		}
+		if err := d.fn(m, fr, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loopLegacy is the original switch-dispatch interpreter loop.
+func (m *Machine) loopLegacy(base int) error {
 	var done <-chan struct{}
 	if m.Ctx != nil {
 		done = m.Ctx.Done()

@@ -14,6 +14,11 @@ import "lowutil/internal/ir"
 //     computations, allocations, natives with a destination) or the value
 //     stored to the heap (stores). Clients such as null-propagation use it
 //     to compute their abstraction functions.
+//
+// The handler-table engine reuses one Event record per machine: the pointer
+// passed to Exec is only valid for the duration of the call, and fields an
+// opcode does not define hold unspecified leftovers from earlier events —
+// tracers must consult only the fields their opcode defines.
 type Event struct {
 	In    *ir.Instr
 	Frame *Frame

@@ -14,7 +14,10 @@
 // or directly through the Builder in this package.
 package ir
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Kind classifies the runtime type of a value, field, or local slot.
 type Kind uint8
@@ -198,6 +201,12 @@ type Program struct {
 	classByName map[string]*Class
 	fieldsByID  []*Field
 	NumFields   int // total instance-field declarations (for field ID space)
+
+	// TabCache holds the interpreter's pre-decoded dispatch tables, keyed to
+	// this program's lifetime so they are shared across machines and freed
+	// with the program. Owned by internal/interp; other packages must not
+	// touch it.
+	TabCache atomic.Value
 }
 
 // ClassByName returns the class with the given name, or nil.
@@ -209,6 +218,16 @@ func (p *Program) NumInstrs() int { return len(p.Instrs) }
 
 // NumAllocSites returns the number of allocation sites (domain O).
 func (p *Program) NumAllocSites() int { return len(p.AllocSites) }
+
+// NumMethods returns the number of declared methods — the size of the dense
+// Method.ID space (interpreter dispatch tables are indexed by it).
+func (p *Program) NumMethods() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += len(c.Methods)
+	}
+	return n
+}
 
 // FieldByID returns the instance field with the given dense ID.
 func (p *Program) FieldByID(id int) *Field { return p.fieldsByID[id] }

@@ -54,25 +54,31 @@ type Options struct {
 	// gate cannot reach. Must be nil when Traditional is set: the proof that
 	// pruned instructions are invisible holds only under thin slicing.
 	Prune []bool
+	// LegacyGraph builds Gcost in the map-backed depgraph representation
+	// instead of the dense interned one — the differential reference.
+	LegacyGraph bool
 }
 
 // frameShadow is the per-frame tracker state: shadow locals plus the encoded
 // receiver-object context chain of the frame.
 type frameShadow struct {
-	nodes []*depgraph.Node
+	// nodes holds one shadow Ref per local slot (the node that last wrote
+	// it); Refs keep the per-event shadow stores free of GC write barriers.
+	nodes []depgraph.Ref
 	ctx   contextenc.Encoded
 	slot  int // h(ctx), precomputed
 	// lastPred is the most recently executed predicate node in this frame
 	// (TrackControl mode only).
-	lastPred *depgraph.Node
+	lastPred depgraph.Ref
 }
 
 // objShadow is the per-object tracker state: the object tag (environment P —
 // the context-annotated allocation node) and shadow slots for fields or
-// array elements.
+// array elements. The tag is a Ref, not a pointer, so tagging an allocation
+// is a scalar store (no GC write barrier on the per-allocation path).
 type objShadow struct {
-	tag   *depgraph.Node
-	slots []*depgraph.Node
+	tag   depgraph.Ref
+	slots []depgraph.Ref
 }
 
 // Profiler is an interp.Tracer that constructs Gcost.
@@ -89,16 +95,20 @@ type Profiler struct {
 	prune    []bool
 
 	// statics is the shadow of static-field storage.
-	statics []*depgraph.Node
+	statics []depgraph.Ref
 
 	// pendingCall carries argument shadows and callee context between
-	// BeforeCall and EnterMethod (the tracking stack push).
-	pendingArgs []*depgraph.Node
+	// BeforeCall and EnterMethod (the tracking stack push). pendingSlot is
+	// h(pendingCtx), staged alongside it: static calls inherit the caller's
+	// context unchanged, so their slot is copied rather than recomputed —
+	// Slot is a hardware divide, paid per call otherwise.
+	pendingArgs []depgraph.Ref
 	pendingCtx  contextenc.Encoded
+	pendingSlot int
 	havePending bool
 	// pendingRet carries the return value's node between BeforeReturn and
 	// AfterCall (the tracking stack pop).
-	pendingRet *depgraph.Node
+	pendingRet depgraph.Ref
 
 	// enabled gates graph construction for phase-restricted tracking;
 	// context bookkeeping continues while disabled.
@@ -110,6 +120,29 @@ type Profiler struct {
 	// abandoned on error simply aren't recycled.
 	fsPool []*frameShadow
 
+	// curFrame/cur memoize the active frame's shadow so the per-event
+	// fshadow lookup skips the interface type assertion. EnterMethod and the
+	// assertion miss path install the pair; BeforeReturn drops it when the
+	// cached frame pops (its record returns to fsPool).
+	curFrame *interp.Frame
+	cur      *frameShadow
+
+	// tIdx/tFreq/tW cache the graph's dense-table view (depgraph.DenseTables)
+	// and fast gates the inlined intern probe: set only when the graph is
+	// dense and no per-event extras (conflict tracking, unabstracted domain,
+	// control deps) are configured. tFreq is re-fetched after every intern
+	// miss (the table grows).
+	tIdx  []int32
+	tFreq []int64
+	tW    int
+	fast  bool
+
+	// osSlab and slotSlab back objShadow allocation: records and shadow-slot
+	// arrays are carved off chunk-at-a-time so the per-object miss path in
+	// oshadow costs two slice headers instead of two heap allocations.
+	osSlab   []objShadow
+	slotSlab []depgraph.Ref
+
 	// instCount counts instances per instruction in Unabstracted mode.
 	instCount []int
 }
@@ -120,14 +153,17 @@ func New(prog *ir.Program, opts Options) *Profiler {
 	if s == 0 {
 		s = 16
 	}
+	// The dense graph's direct index is sized to the context-slot domain:
+	// d ∈ [NoContext, s). Unabstracted occurrence indices overflow into its
+	// map-backed fallback by design.
 	p := &Profiler{
-		G:       depgraph.New(prog),
+		G:       depgraph.NewSized(prog, s-1, opts.LegacyGraph),
 		Prog:    prog,
 		slots:   contextenc.NewSlots(s),
 		thin:    !opts.Traditional,
 		unabs:   opts.Unabstracted,
 		control: opts.TrackControl,
-		statics: make([]*depgraph.Node, len(prog.Statics)),
+		statics: make([]depgraph.Ref, len(prog.Statics)),
 		enabled: true,
 	}
 	if !opts.Traditional {
@@ -142,6 +178,11 @@ func New(prog *ir.Program, opts Options) *Profiler {
 		if p.unabsCap == 0 {
 			p.unabsCap = 1 << 20
 		}
+	}
+	if !opts.LegacyGraph && !p.unabs && p.cr == nil && !p.control {
+		t := p.G.DenseTables()
+		p.tIdx, p.tFreq, p.tW = t.Idx, t.Freq, t.Width
+		p.fast = true
 	}
 	return p
 }
@@ -166,21 +207,53 @@ func (p *Profiler) CR() *contextenc.ConflictTracker { return p.cr }
 func (p *Profiler) Slots() int { return p.slots.S }
 
 // ShadowNodes exposes the frame's shadow locals: for each local slot, the
-// node that last wrote it. Wrapping clients (e.g. the method-cost tracker)
-// use it to observe tracking data without re-implementing Figure 4.
+// node that last wrote it (nil if untracked). Wrapping clients use it to
+// observe tracking data without re-implementing Figure 4; the slice is
+// materialized per call, so it is not for per-event use.
 func (p *Profiler) ShadowNodes(fr *interp.Frame) []*depgraph.Node {
-	return p.fshadow(fr).nodes
+	refs := p.fshadow(fr).nodes
+	out := make([]*depgraph.Node, len(refs))
+	for i, r := range refs {
+		out[i] = p.G.At(r)
+	}
+	return out
 }
 
 // fshadow returns (creating if needed) the frame's shadow state.
 func (p *Profiler) fshadow(fr *interp.Frame) *frameShadow {
+	if fr == p.curFrame {
+		return p.cur
+	}
 	if fs, ok := fr.Shadow.(*frameShadow); ok {
+		p.curFrame, p.cur = fr, fs
 		return fs
 	}
-	fs := &frameShadow{nodes: make([]*depgraph.Node, len(fr.Locals))}
+	fs := &frameShadow{nodes: make([]depgraph.Ref, len(fr.Locals))}
 	fs.slot = p.slots.Slot(fs.ctx)
 	fr.Shadow = fs
+	p.curFrame, p.cur = fr, fs
 	return fs
+}
+
+// newObjShadow carves a shadow record with n slots from the slabs.
+func (p *Profiler) newObjShadow(n int) *objShadow {
+	if len(p.osSlab) == 0 {
+		p.osSlab = make([]objShadow, 256)
+	}
+	os := &p.osSlab[0]
+	p.osSlab = p.osSlab[1:]
+	if n > 0 {
+		if len(p.slotSlab) < n {
+			c := 1024
+			if n > c {
+				c = n
+			}
+			p.slotSlab = make([]depgraph.Ref, c)
+		}
+		os.slots = p.slotSlab[:n:n]
+		p.slotSlab = p.slotSlab[n:]
+	}
+	return os
 }
 
 // oshadow returns (creating if needed) the object's shadow state.
@@ -194,7 +267,7 @@ func (p *Profiler) oshadow(o *interp.Object) *objShadow {
 	} else {
 		n = len(o.Fields)
 	}
-	os := &objShadow{slots: make([]*depgraph.Node, n)}
+	os := p.newObjShadow(n)
 	o.Shadow = os
 	return os
 }
@@ -209,15 +282,15 @@ func (p *Profiler) node(in *ir.Instr, fs *frameShadow) *depgraph.Node {
 		if c < p.unabsCap {
 			p.instCount[in.ID] = c + 1
 		}
-		n = p.G.Touch(in, c)
+		n = p.G.TouchFast(in, c)
 	} else {
 		if p.cr != nil {
 			p.cr.Observe(in.ID, fs.ctx)
 		}
-		n = p.G.Touch(in, fs.slot)
+		n = p.G.TouchFast(in, fs.slot)
 	}
-	if p.control && fs.lastPred != nil {
-		p.G.AddDep(n, fs.lastPred)
+	if p.control && fs.lastPred != 0 {
+		p.G.AddDepRef(n, fs.lastPred)
 	}
 	return n
 }
@@ -225,7 +298,64 @@ func (p *Profiler) node(in *ir.Instr, fs *frameShadow) *depgraph.Node {
 // consumerNode maps a predicate or native instruction to its context-free
 // node.
 func (p *Profiler) consumerNode(in *ir.Instr) *depgraph.Node {
-	return p.G.Touch(in, depgraph.NoContext)
+	return p.G.TouchFast(in, depgraph.NoContext)
+}
+
+// eventRefFast is the inlined intern hit path: probe the cached dense index
+// for (in, fs.slot) and bump the frequency table. Returns NilRef on a miss
+// or when the fast path is off; callers then take eventRefSlow.
+func (p *Profiler) eventRefFast(in *ir.Instr, fs *frameShadow) depgraph.Ref {
+	if !p.fast {
+		return 0
+	}
+	if v := p.tIdx[in.ID*p.tW+fs.slot+1]; v != 0 {
+		p.tFreq[v-1]++
+		return depgraph.Ref(v)
+	}
+	return 0
+}
+
+// eventRefSlow interns on a dense miss (re-fetching the grown frequency
+// table) or runs the general node mapping when the fast path is off.
+func (p *Profiler) eventRefSlow(in *ir.Instr, fs *frameShadow) depgraph.Ref {
+	if p.fast {
+		n := p.G.Touch(in, fs.slot)
+		p.tFreq = p.G.DenseTables().Freq
+		return n.Ref()
+	}
+	return p.node(in, fs).Ref()
+}
+
+// consumerRefFast is eventRefFast for context-free consumer nodes (d =
+// NoContext, dense row offset 0).
+func (p *Profiler) consumerRefFast(in *ir.Instr) depgraph.Ref {
+	if !p.fast {
+		return 0
+	}
+	if v := p.tIdx[in.ID*p.tW]; v != 0 {
+		p.tFreq[v-1]++
+		return depgraph.Ref(v)
+	}
+	return 0
+}
+
+// consumerRefSlow is eventRefSlow for consumer nodes.
+func (p *Profiler) consumerRefSlow(in *ir.Instr) depgraph.Ref {
+	if p.fast {
+		n := p.G.Touch(in, depgraph.NoContext)
+		p.tFreq = p.G.DenseTables().Freq
+		return n.Ref()
+	}
+	return p.consumerNode(in).Ref()
+}
+
+// eventNode maps the event to its node for the cases that need the record
+// itself (allocation tagging, heap-effect annotation).
+func (p *Profiler) eventNode(in *ir.Instr, fs *frameShadow) *depgraph.Node {
+	if r := p.eventRefFast(in, fs); r != 0 {
+		return p.G.At(r)
+	}
+	return p.G.At(p.eventRefSlow(in, fs))
 }
 
 // Exec implements interp.Tracer.
@@ -242,158 +372,193 @@ func (p *Profiler) Exec(ev *interp.Event) {
 
 	switch in.Op {
 	case ir.OpConst:
-		fs.nodes[in.Dst] = p.node(in, fs)
+		r := p.eventRefFast(in, fs)
+		if r == 0 {
+			r = p.eventRefSlow(in, fs)
+		}
+		fs.nodes[in.Dst] = r
 
 	case ir.OpMove:
-		n := p.node(in, fs)
-		g.AddDep(n, fs.nodes[in.A])
-		fs.nodes[in.Dst] = n
+		r := p.eventRefFast(in, fs)
+		if r == 0 {
+			r = p.eventRefSlow(in, fs)
+		}
+		g.AddDepRefs(r, fs.nodes[in.A])
+		fs.nodes[in.Dst] = r
 
 	case ir.OpBin:
-		n := p.node(in, fs)
-		g.AddDep(n, fs.nodes[in.A])
-		g.AddDep(n, fs.nodes[in.B])
-		fs.nodes[in.Dst] = n
+		r := p.eventRefFast(in, fs)
+		if r == 0 {
+			r = p.eventRefSlow(in, fs)
+		}
+		g.AddDepRefs(r, fs.nodes[in.A])
+		g.AddDepRefs(r, fs.nodes[in.B])
+		fs.nodes[in.Dst] = r
 
 	case ir.OpNeg, ir.OpNot, ir.OpInstanceOf:
-		n := p.node(in, fs)
-		g.AddDep(n, fs.nodes[in.A])
-		fs.nodes[in.Dst] = n
+		r := p.eventRefFast(in, fs)
+		if r == 0 {
+			r = p.eventRefSlow(in, fs)
+		}
+		g.AddDepRefs(r, fs.nodes[in.A])
+		fs.nodes[in.Dst] = r
 
 	case ir.OpNew:
-		n := p.node(in, fs)
+		n := p.eventNode(in, fs)
 		n.Eff = depgraph.EffAlloc
-		n.EffLoc = depgraph.Loc{Alloc: n}
-		fs.nodes[in.Dst] = n
-		os := p.oshadow(ev.New)
-		os.tag = n
+		if n.EffLoc.Alloc != n {
+			n.EffLoc = depgraph.Loc{Alloc: n}
+		}
+		fs.nodes[in.Dst] = n.Ref()
+		p.oshadow(ev.New).tag = n.Ref()
 
 	case ir.OpNewArray:
-		n := p.node(in, fs)
+		n := p.eventNode(in, fs)
 		n.Eff = depgraph.EffAlloc
-		n.EffLoc = depgraph.Loc{Alloc: n}
-		g.AddDep(n, fs.nodes[in.A]) // the length value is consumed
-		fs.nodes[in.Dst] = n
-		os := p.oshadow(ev.New)
-		os.tag = n
+		if n.EffLoc.Alloc != n {
+			n.EffLoc = depgraph.Loc{Alloc: n}
+		}
+		g.AddDepRef(n, fs.nodes[in.A]) // the length value is consumed
+		fs.nodes[in.Dst] = n.Ref()
+		p.oshadow(ev.New).tag = n.Ref()
 
 	case ir.OpLoadField:
-		n := p.node(in, fs)
+		n := p.eventNode(in, fs)
 		os := p.oshadow(ev.Base)
 		if in.Field.Slot < len(os.slots) {
-			g.AddDep(n, os.slots[in.Field.Slot])
+			g.AddDepRef(n, os.slots[in.Field.Slot])
 		}
 		if !p.thin {
-			g.AddDep(n, fs.nodes[in.A]) // base-pointer use (traditional)
+			g.AddDepRef(n, fs.nodes[in.A]) // base-pointer use (traditional)
 		}
-		loc := depgraph.Loc{Alloc: os.tag, Field: in.Field.ID}
+		loc := depgraph.Loc{Alloc: g.At(os.tag), Field: in.Field.ID}
 		n.Eff = depgraph.EffLoad
-		n.EffLoc = loc
+		if n.EffLoc != loc {
+			n.EffLoc = loc
+		}
 		g.AddLocLoad(loc, n)
-		fs.nodes[in.Dst] = n
+		fs.nodes[in.Dst] = n.Ref()
 
 	case ir.OpStoreField:
-		n := p.node(in, fs)
-		g.AddDep(n, fs.nodes[in.B])
+		n := p.eventNode(in, fs)
+		g.AddDepRef(n, fs.nodes[in.B])
 		if !p.thin {
-			g.AddDep(n, fs.nodes[in.A])
+			g.AddDepRef(n, fs.nodes[in.A])
 		}
 		os := p.oshadow(ev.Base)
 		if in.Field.Slot < len(os.slots) {
-			os.slots[in.Field.Slot] = n
+			os.slots[in.Field.Slot] = n.Ref()
 		}
-		loc := depgraph.Loc{Alloc: os.tag, Field: in.Field.ID}
+		loc := depgraph.Loc{Alloc: g.At(os.tag), Field: in.Field.ID}
 		n.Eff = depgraph.EffStore
-		n.EffLoc = loc
+		if n.EffLoc != loc {
+			n.EffLoc = loc
+		}
 		g.AddLocStore(loc, n)
-		g.AddRef(n, os.tag)
+		g.AddRefs(n.Ref(), os.tag)
 		if ev.Val.K == ir.KindRef && ev.Val.Ref != nil {
-			g.AddChild(loc, p.oshadow(ev.Val.Ref).tag)
+			g.AddChild(loc, g.At(p.oshadow(ev.Val.Ref).tag))
 		}
 
 	case ir.OpLoadStatic:
-		n := p.node(in, fs)
-		g.AddDep(n, p.statics[in.Static.Slot])
+		n := p.eventNode(in, fs)
+		g.AddDepRef(n, p.statics[in.Static.Slot])
 		loc := depgraph.Loc{Alloc: nil, Field: in.Static.Slot}
 		n.Eff = depgraph.EffLoad
-		n.EffLoc = loc
+		if n.EffLoc != loc {
+			n.EffLoc = loc
+		}
 		g.AddLocLoad(loc, n)
-		fs.nodes[in.Dst] = n
+		fs.nodes[in.Dst] = n.Ref()
 
 	case ir.OpStoreStatic:
-		n := p.node(in, fs)
-		g.AddDep(n, fs.nodes[in.A])
-		p.statics[in.Static.Slot] = n
+		n := p.eventNode(in, fs)
+		g.AddDepRef(n, fs.nodes[in.A])
+		p.statics[in.Static.Slot] = n.Ref()
 		loc := depgraph.Loc{Alloc: nil, Field: in.Static.Slot}
 		n.Eff = depgraph.EffStore
-		n.EffLoc = loc
+		if n.EffLoc != loc {
+			n.EffLoc = loc
+		}
 		g.AddLocStore(loc, n)
 		if ev.Val.K == ir.KindRef && ev.Val.Ref != nil {
-			g.AddChild(loc, p.oshadow(ev.Val.Ref).tag)
+			g.AddChild(loc, g.At(p.oshadow(ev.Val.Ref).tag))
 		}
 
 	case ir.OpALoad:
-		n := p.node(in, fs)
+		n := p.eventNode(in, fs)
 		os := p.oshadow(ev.Base)
 		if int(ev.Index) < len(os.slots) {
-			g.AddDep(n, os.slots[ev.Index])
+			g.AddDepRef(n, os.slots[ev.Index])
 		}
-		g.AddDep(n, fs.nodes[in.B]) // the index is still considered used
+		g.AddDepRef(n, fs.nodes[in.B]) // the index is still considered used
 		if !p.thin {
-			g.AddDep(n, fs.nodes[in.A])
+			g.AddDepRef(n, fs.nodes[in.A])
 		}
-		loc := depgraph.Loc{Alloc: os.tag, Field: depgraph.ElemField}
+		loc := depgraph.Loc{Alloc: g.At(os.tag), Field: depgraph.ElemField}
 		n.Eff = depgraph.EffLoad
-		n.EffLoc = loc
+		if n.EffLoc != loc {
+			n.EffLoc = loc
+		}
 		g.AddLocLoad(loc, n)
-		fs.nodes[in.Dst] = n
+		fs.nodes[in.Dst] = n.Ref()
 
 	case ir.OpAStore:
-		n := p.node(in, fs)
-		g.AddDep(n, fs.nodes[in.C2])
-		g.AddDep(n, fs.nodes[in.B])
+		n := p.eventNode(in, fs)
+		g.AddDepRef(n, fs.nodes[in.C2])
+		g.AddDepRef(n, fs.nodes[in.B])
 		if !p.thin {
-			g.AddDep(n, fs.nodes[in.A])
+			g.AddDepRef(n, fs.nodes[in.A])
 		}
 		os := p.oshadow(ev.Base)
 		if int(ev.Index) < len(os.slots) {
-			os.slots[ev.Index] = n
+			os.slots[ev.Index] = n.Ref()
 		}
-		loc := depgraph.Loc{Alloc: os.tag, Field: depgraph.ElemField}
+		loc := depgraph.Loc{Alloc: g.At(os.tag), Field: depgraph.ElemField}
 		n.Eff = depgraph.EffStore
-		n.EffLoc = loc
+		if n.EffLoc != loc {
+			n.EffLoc = loc
+		}
 		g.AddLocStore(loc, n)
-		g.AddRef(n, os.tag)
+		g.AddRefs(n.Ref(), os.tag)
 		if ev.Val.K == ir.KindRef && ev.Val.Ref != nil {
-			g.AddChild(loc, p.oshadow(ev.Val.Ref).tag)
+			g.AddChild(loc, g.At(p.oshadow(ev.Val.Ref).tag))
 		}
 
 	case ir.OpArrayLen:
 		// The length is metadata fixed at allocation; model the read as a
 		// heap load whose last writer is the allocation node.
-		n := p.node(in, fs)
+		n := p.eventNode(in, fs)
 		os := p.oshadow(ev.Base)
-		g.AddDep(n, os.tag)
-		loc := depgraph.Loc{Alloc: os.tag, Field: depgraph.ElemField}
+		g.AddDepRefs(n.Ref(), os.tag)
+		loc := depgraph.Loc{Alloc: g.At(os.tag), Field: depgraph.ElemField}
 		n.Eff = depgraph.EffLoad
-		n.EffLoc = loc
-		fs.nodes[in.Dst] = n
+		if n.EffLoc != loc {
+			n.EffLoc = loc
+		}
+		fs.nodes[in.Dst] = n.Ref()
 
 	case ir.OpIf:
-		n := p.consumerNode(in)
-		g.AddDep(n, fs.nodes[in.A])
-		g.AddDep(n, fs.nodes[in.B])
+		r := p.consumerRefFast(in)
+		if r == 0 {
+			r = p.consumerRefSlow(in)
+		}
+		g.AddDepRefs(r, fs.nodes[in.A])
+		g.AddDepRefs(r, fs.nodes[in.B])
 		if p.control {
-			fs.lastPred = n
+			fs.lastPred = r
 		}
 
 	case ir.OpNative:
-		n := p.consumerNode(in)
+		r := p.consumerRefFast(in)
+		if r == 0 {
+			r = p.consumerRefSlow(in)
+		}
 		for _, a := range in.Args {
-			g.AddDep(n, fs.nodes[a])
+			g.AddDepRefs(r, fs.nodes[a])
 		}
 		if in.Dst >= 0 {
-			fs.nodes[in.Dst] = n
+			fs.nodes[in.Dst] = r
 		}
 	}
 }
@@ -404,56 +569,71 @@ func (p *Profiler) Exec(ev *interp.Event) {
 func (p *Profiler) BeforeCall(in *ir.Instr, caller *interp.Frame, callee *ir.Method, recv *interp.Object) {
 	fs := p.fshadow(caller)
 	if cap(p.pendingArgs) < len(in.Args) {
-		p.pendingArgs = make([]*depgraph.Node, len(in.Args))
+		p.pendingArgs = make([]depgraph.Ref, len(in.Args))
 	}
 	p.pendingArgs = p.pendingArgs[:len(in.Args)]
 	for i, a := range in.Args {
 		p.pendingArgs[i] = fs.nodes[a]
 	}
-	ctx := fs.ctx
 	if recv != nil {
-		ctx = contextenc.Extend(ctx, recv.Site)
+		ctx := contextenc.Extend(fs.ctx, recv.Site)
+		p.pendingCtx = ctx
+		p.pendingSlot = p.slots.Slot(ctx)
+	} else {
+		p.pendingCtx = fs.ctx
+		p.pendingSlot = fs.slot
 	}
-	p.pendingCtx = ctx
 	p.havePending = true
 }
 
-// newFrameShadow returns a cleared shadow with room for n locals, reusing a
-// pooled record when one fits.
-func (p *Profiler) newFrameShadow(n int) *frameShadow {
+// newFrameShadow returns a shadow with room for n locals, reusing a pooled
+// record when one fits. The first keep slots are left dirty — the caller
+// overwrites them with the staged argument shadows — and only the rest is
+// cleared.
+func (p *Profiler) newFrameShadow(n, keep int) *frameShadow {
 	if len(p.fsPool) > 0 {
 		fs := p.fsPool[len(p.fsPool)-1]
 		p.fsPool = p.fsPool[:len(p.fsPool)-1]
 		if cap(fs.nodes) < n {
-			fs.nodes = make([]*depgraph.Node, n)
+			fs.nodes = make([]depgraph.Ref, n)
 		} else {
 			fs.nodes = fs.nodes[:n]
-			for i := range fs.nodes {
-				fs.nodes[i] = nil
+			if keep > n {
+				keep = n
 			}
+			clear(fs.nodes[keep:])
 		}
 		fs.ctx = contextenc.EmptyContext
 		fs.slot = 0
-		fs.lastPred = nil
+		fs.lastPred = 0
 		return fs
 	}
-	return &frameShadow{nodes: make([]*depgraph.Node, n)}
+	return &frameShadow{nodes: make([]depgraph.Ref, n)}
 }
 
 // EnterMethod implements interp.Tracer: formals receive the actuals'
 // tracking data and the frame adopts the pushed context.
 func (p *Profiler) EnterMethod(fr *interp.Frame, recv *interp.Object) {
-	fs := p.newFrameShadow(fr.Method.NumLocals)
+	keep := 0
+	if p.havePending {
+		keep = len(p.pendingArgs)
+	}
+	fs := p.newFrameShadow(fr.Method.NumLocals, keep)
 	if p.havePending {
 		copy(fs.nodes, p.pendingArgs)
 		fs.ctx = p.pendingCtx
+		fs.slot = p.pendingSlot
 		p.havePending = false
 	} else if recv != nil {
 		// Entry via CallMethod with a receiver: root the chain there.
 		fs.ctx = contextenc.Extend(contextenc.EmptyContext, recv.Site)
+		fs.slot = p.slots.Slot(fs.ctx)
 	}
-	fs.slot = p.slots.Slot(fs.ctx)
 	fr.Shadow = fs
+	p.curFrame, p.cur = fr, fs
+	// Call boundaries are where TouchFast's deferred snapshot invalidation
+	// is flushed (the batched-increment flush point).
+	p.G.Invalidate()
 }
 
 // BeforeReturn implements interp.Tracer: the return value's tracking data is
@@ -462,7 +642,7 @@ func (p *Profiler) BeforeReturn(in *ir.Instr, fr *interp.Frame) {
 	if in.HasA {
 		p.pendingRet = p.fshadow(fr).nodes[in.A]
 	} else {
-		p.pendingRet = nil
+		p.pendingRet = 0
 	}
 	// The frame pops right after this hook; reclaim its shadow. fr.Shadow
 	// stays attached because wrapping tracers (e.g. MethodCostTracker) peek
@@ -471,14 +651,23 @@ func (p *Profiler) BeforeReturn(in *ir.Instr, fr *interp.Frame) {
 	if fs, ok := fr.Shadow.(*frameShadow); ok {
 		p.fsPool = append(p.fsPool, fs)
 	}
+	if fr == p.curFrame {
+		p.curFrame, p.cur = nil, nil
+	}
+	p.G.Invalidate()
 }
+
+// StagedReturn returns the node staged by the most recent BeforeReturn — the
+// return value's tracking data awaiting AfterCall. Wrapping clients read it
+// here instead of re-deriving the popped frame's shadow.
+func (p *Profiler) StagedReturn() *depgraph.Node { return p.G.At(p.pendingRet) }
 
 // AfterCall implements interp.Tracer: a call site with a destination acts as
 // an assignment from the returned value, creating a node in the caller's
 // context.
 func (p *Profiler) AfterCall(in *ir.Instr, caller *interp.Frame, hasValue bool) {
 	ret := p.pendingRet
-	p.pendingRet = nil
+	p.pendingRet = 0
 	if !hasValue || in == nil || in.Dst < 0 {
 		return
 	}
@@ -487,8 +676,8 @@ func (p *Profiler) AfterCall(in *ir.Instr, caller *interp.Frame, hasValue bool) 
 		return
 	}
 	n := p.node(in, fs)
-	p.G.AddDep(n, ret)
-	fs.nodes[in.Dst] = n
+	p.G.AddDepRef(n, ret)
+	fs.nodes[in.Dst] = n.Ref()
 }
 
 var _ interp.Tracer = (*Profiler)(nil)
@@ -502,7 +691,7 @@ func NewFromGraph(prog *ir.Program, g *depgraph.Graph) *Profiler {
 		Prog:    prog,
 		slots:   contextenc.NewSlots(16),
 		thin:    true,
-		statics: make([]*depgraph.Node, len(prog.Statics)),
+		statics: make([]depgraph.Ref, len(prog.Statics)),
 		cr:      NewCRTracker(prog, 16),
 	}
 }

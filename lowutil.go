@@ -284,6 +284,12 @@ type ProfileOptions struct {
 	// MaxSteps bounds the profiled execution to this many instruction
 	// instances (0 = unlimited); exceeding it fails the run.
 	MaxSteps int64
+	// LegacyEngine runs the profiled execution on the reference engine: the
+	// interpreter's switch dispatch and the map-backed Gcost representation,
+	// instead of the handler-table interpreter over the dense interned graph.
+	// Results are identical (the differential tests pin profile, report, and
+	// slice bytes); this exists for comparison and as an escape hatch.
+	LegacyEngine bool
 }
 
 // Profile runs the program under the cost-benefit profiler.
@@ -313,8 +319,10 @@ func (p *Program) profile(ctx context.Context, opts ProfileOptions) (*Profile, e
 		Traditional:  opts.Traditional,
 		TrackControl: opts.TrackControl,
 		TrackCR:      true,
+		LegacyGraph:  opts.LegacyEngine,
 	})
 	m := interp.New(p.prog)
+	m.LegacyDispatch = opts.LegacyEngine
 	m.Tracer = prof
 	m.Ctx = ctx
 	m.MaxSteps = opts.MaxSteps
@@ -604,7 +612,7 @@ func (pr *Profile) TopStructuresMultiHop(k, hops int) []Finding {
 		e.cost += cost
 		e.ben += ben
 		e.consumed = e.consumed || consumed
-		e.freq += n.Freq
+		e.freq += n.Freq()
 	})
 	out := make([]Finding, 0, len(perSite))
 	for _, e := range perSite {

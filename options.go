@@ -84,6 +84,13 @@ func WithMaxSteps(n int64) ProfileOption {
 	return func(o *ProfileOptions) { o.MaxSteps = n }
 }
 
+// WithLegacyEngine runs the profiled execution on the reference engine
+// (switch dispatch, map-backed Gcost) instead of the handler-table
+// interpreter over the dense interned graph. Results are identical.
+func WithLegacyEngine() ProfileOption {
+	return func(o *ProfileOptions) { o.LegacyEngine = true }
+}
+
 // applyProfileOptions folds opts over the defaults.
 func applyProfileOptions(opts []ProfileOption) ProfileOptions {
 	o := DefaultOptions()

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Compares the newest BENCH_<idx>.json against the previous one and fails
+# on a >10% ns/op regression in the gated series: the frozen cost-benefit
+# analysis (BenchmarkCostBenefitAnalysis/frozen) and every profiled
+# overhead series (BenchmarkOverhead/<workload>/profiled_s16). Other
+# benchmarks are reported but never gate — this VM's noise makes a blanket
+# gate useless, while the gated series are the ones this repo's perf work
+# has promised not to give back.
+#
+# Usage:
+#   sh scripts/benchdiff.sh                  newest vs previous, gate on regressions
+#   sh scripts/benchdiff.sh -report          same comparison, never fails (make check)
+#   sh scripts/benchdiff.sh OLD.json NEW.json
+set -e
+cd "$(dirname "$0")/.."
+
+REPORT=0
+if [ "$1" = "-report" ]; then
+    REPORT=1
+    shift
+fi
+
+if [ $# -eq 2 ]; then
+    OLD="$1"
+    NEW="$2"
+else
+    # Newest two by numeric index.
+    set -- $(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n)
+    if [ $# -lt 2 ]; then
+        echo "benchdiff: need at least two BENCH_*.json files (have $#)" >&2
+        [ "$REPORT" = 1 ] && exit 0
+        exit 1
+    fi
+    while [ $# -gt 2 ]; do shift; done
+    OLD="$1"
+    NEW="$2"
+fi
+
+echo "benchdiff: $OLD -> $NEW"
+
+# bench.sh writes one {"name": ..., "ns_per_op": ...} object per line, so a
+# line-oriented awk over both files (old first) is enough.
+if awk '
+    {
+        if (match($0, /"name": "[^"]*"/) == 0) next
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        if (match($0, /"ns_per_op": [0-9.]+/) == 0) next
+        ns = substr($0, RSTART + 13, RLENGTH - 13) + 0
+        if (FNR == NR) { old[name] = ns; next }
+        if (!(name in old)) next
+        ratio = ns / old[name]
+        gated = (name ~ /BenchmarkCostBenefitAnalysis\/frozen/ || name ~ /profiled_s16/)
+        mark = gated ? " [gated]" : ""
+        printf "  %-60s %12.0f -> %12.0f  (%+.1f%%)%s\n", name, old[name], ns, (ratio - 1) * 100, mark
+        if (gated && ratio > 1.10) {
+            printf "  REGRESSION: %s is %.1f%% slower (gate: 10%%)\n", name, (ratio - 1) * 100
+            bad++
+        }
+    }
+    END { exit bad > 0 ? 1 : 0 }
+' "$OLD" "$NEW"; then
+    echo "benchdiff: OK"
+else
+    if [ "$REPORT" = 1 ]; then
+        echo "benchdiff: regressions found (report-only mode, not failing)" >&2
+        exit 0
+    fi
+    echo "benchdiff: FAILED (>10% regression in a gated series)" >&2
+    exit 1
+fi

@@ -31,4 +31,11 @@ go test ./internal/evalharness -run TestPrecisionRankCorrelation -short -count=1
 # The analysis pipeline is parallel; -short keeps the race pass fast by
 # trimming the all-workload differential sweeps to a subset.
 go test -race -short ./...
+# Smoke-run the dispatch benchmark (one iteration): catches handler-table
+# regressions that only manifest under the benchmark harness, without
+# paying for a timed run.
+go test -run=NONE -bench=Dispatch -benchtime=1x .
+# Perf-trajectory report: compares the two newest BENCH_*.json. Report-only
+# here; `make bench` runs the same comparison as a hard gate.
+sh scripts/benchdiff.sh -report
 echo "check: OK"
