@@ -1,4 +1,4 @@
-.PHONY: check build test bench benchdiff lint apisurface
+.PHONY: check build test bench benchdiff lint apisurface audit-goldens
 
 check:
 	sh scripts/check.sh
@@ -9,12 +9,12 @@ build:
 test:
 	go test ./...
 
-# bench writes BENCH_7.json (min-of-COUNT ns/op per benchmark) and then
+# bench writes BENCH_8.json (min-of-COUNT ns/op per benchmark) and then
 # gates: >10% regression vs the previous BENCH_*.json in the frozen
 # cost-benefit analysis or any profiled_s16 overhead series fails the
 # target. `make check` runs the same comparison report-only.
 bench:
-	sh scripts/bench.sh 7
+	sh scripts/bench.sh 8
 	sh scripts/benchdiff.sh
 
 benchdiff:
@@ -31,3 +31,9 @@ lint:
 # change with: sh scripts/apisurface.sh -update
 apisurface:
 	sh scripts/apisurface.sh
+
+# Regenerate the static-audit golden reports (internal/escape/testdata/audit/)
+# after an intended scoring or escape-analysis change. `make check` runs the
+# same test without -update as a diff gate.
+audit-goldens:
+	go test ./internal/escape -run TestAuditGoldenWorkloads -update

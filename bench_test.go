@@ -22,6 +22,7 @@ import (
 	"lowutil/internal/costben"
 	"lowutil/internal/deadness"
 	"lowutil/internal/depgraph"
+	"lowutil/internal/escape"
 	"lowutil/internal/interp"
 	"lowutil/internal/interproc"
 	"lowutil/internal/ir"
@@ -515,4 +516,60 @@ func BenchmarkVetEngines(b *testing.B) {
 			staticanalysis.VetDense(prog)
 		}
 	})
+}
+
+// ---- Static audit costs: the escape/lifetime analysis itself, the
+// facade's rendered `lowutil audit` report, and the escape-shape vet
+// lints (confined-alloc-in-loop, copy-chain) layered onto the vet suite. ----
+
+func BenchmarkEscapeAnalysis(b *testing.B) {
+	prog := mustCompileWorkload(b, "eclipse")
+	an := interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA})
+	b.ResetTimer()
+	b.ReportAllocs()
+	var r *escape.Result
+	for i := 0; i < b.N; i++ {
+		r = escape.Analyze(an)
+	}
+	b.ReportMetric(float64(len(r.Sites)), "sites")
+}
+
+func BenchmarkStaticAudit(b *testing.B) {
+	p, err := Compile(workloads.ByName("eclipse").Source(benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	var report string
+	for i := 0; i < b.N; i++ {
+		report, err = p.StaticAudit(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(report)), "report_bytes")
+}
+
+func BenchmarkVetEscapeLints(b *testing.B) {
+	prog := mustCompileWorkload(b, "eclipse")
+	an := interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA})
+	b.ReportAllocs()
+	loops, chains := 0, 0
+	for i := 0; i < b.N; i++ {
+		loops, chains = 0, 0
+		for _, f := range staticanalysis.VetWith(prog, an) {
+			switch f.Kind {
+			case staticanalysis.KindConfinedAllocInLoop:
+				loops++
+			case staticanalysis.KindCopyChain:
+				chains++
+			}
+		}
+	}
+	if loops+chains == 0 {
+		b.Fatal("escape lints produced no findings")
+	}
+	b.ReportMetric(float64(loops), "confined_in_loop")
+	b.ReportMetric(float64(chains), "copy_chains")
 }

@@ -8,6 +8,7 @@
 //	lowutil vet        [flags] prog.mj  static diagnostics, no execution
 //	lowutil ssa        [flags] prog.mj  dump SSA form with SCCP and loop info
 //	lowutil slice      [flags] prog.mj  interprocedural static thin slice
+//	lowutil audit      [flags] prog.mj  static escape/lifetime low-utility audit
 //	lowutil profile    [flags] prog.mj  rank low-utility data structures
 //	lowutil nullcheck  prog.mj          diagnose a NullPointerException
 //	lowutil copies     [flags] prog.mj  extended copy profiling
@@ -26,6 +27,13 @@
 // run could produce is contained in it — with per-location cost/benefit
 // bounds and the statically write-only stored locations.
 //
+// Flags (audit): -mode cha|rta call-graph construction (default rta),
+// -objctx for receiver-object context, -top sites (default 10). audit never
+// runs the program either: it classifies every allocation site on the
+// no-escape / arg-escape / global-escape lattice, infers lifetime regions,
+// detects copy-chain and loop-confined shapes, and ranks the sites by their
+// frequency-weighted static cost/benefit bounds.
+//
 // vet reports, without running the program: dead stores, write-only fields,
 // unused allocations, unreachable code, and possibly-uninitialized reads.
 // It exits 1 when it finds anything. -engine selects the analysis engine:
@@ -40,6 +48,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -68,6 +77,8 @@ func main() {
 		err = cmdSSA(args)
 	case "slice":
 		err = cmdSlice(args)
+	case "audit":
+		err = cmdAudit(args)
 	case "profile":
 		err = cmdProfile(args)
 	case "nullcheck":
@@ -97,7 +108,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lowutil <command> [flags] <file.mj>
-commands: run, disasm, vet, ssa, slice, profile, nullcheck, copies, predicates, overwrites, caches, serve`)
+commands: run, disasm, vet, ssa, slice, audit, profile, nullcheck, copies, predicates, overwrites, caches, serve`)
 }
 
 // startProfiles starts a CPU profile and/or arranges a post-run heap profile
@@ -251,6 +262,31 @@ func cmdSlice(args []string) error {
 		return err
 	}
 	rep, err := prog.StaticSlice(lowutil.SliceOptions{Mode: *mode, ObjCtx: *objctx, Top: *top})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	mode := fs.String("mode", "rta", "call-graph construction: cha or rta")
+	objctx := fs.Bool("objctx", false, "qualify allocation sites by one level of receiver-object context")
+	top := fs.Int("top", lowutil.DefaultTop, "ranked sites to print")
+	path, err := oneFile(fs, args)
+	if err != nil {
+		return err
+	}
+	prog, err := compileFile(path)
+	if err != nil {
+		return err
+	}
+	opts := []lowutil.AuditOption{lowutil.WithAuditMode(*mode), lowutil.WithAuditTop(*top)}
+	if *objctx {
+		opts = append(opts, lowutil.WithAuditObjCtx())
+	}
+	rep, err := prog.StaticAudit(context.Background(), opts...)
 	if err != nil {
 		return err
 	}

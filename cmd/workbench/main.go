@@ -7,12 +7,14 @@
 //	workbench -run chart -scale 4
 //	workbench -profile eclipse -scale 2 -s 16 -top 10
 //	workbench -slice eclipse -mode rta -objctx -top 10
+//	workbench -audit eclipse -mode rta -top 10
 //	workbench -vet bloat -engine ssa
 //	workbench -ssa fop -m TreeGen.gen
 //	workbench -dump bloat > bloat.mj
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +30,7 @@ func main() {
 	run := flag.String("run", "", "execute the named workload")
 	profileName := flag.String("profile", "", "profile the named workload and print the report")
 	sliceName := flag.String("slice", "", "print the named workload's static thin-slice report (no execution)")
+	auditName := flag.String("audit", "", "print the named workload's static escape/lifetime audit (no execution)")
 	vetName := flag.String("vet", "", "run the static vet suite on the named workload (no execution)")
 	ssaName := flag.String("ssa", "", "dump the named workload's SSA form with SCCP and loop info")
 	dump := flag.String("dump", "", "print the named workload's MJ source")
@@ -102,6 +105,17 @@ func main() {
 	case *sliceName != "":
 		prog := compile(*sliceName, *scale)
 		rep, err := prog.StaticSlice(lowutil.SliceOptions{Mode: *mode, ObjCtx: *objctx, Top: *top})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(rep)
+	case *auditName != "":
+		prog := compile(*auditName, *scale)
+		opts := []lowutil.AuditOption{lowutil.WithAuditMode(*mode), lowutil.WithAuditTop(*top)}
+		if *objctx {
+			opts = append(opts, lowutil.WithAuditObjCtx())
+		}
+		rep, err := prog.StaticAudit(context.Background(), opts...)
 		if err != nil {
 			fatalf("%v", err)
 		}

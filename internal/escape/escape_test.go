@@ -1,0 +1,222 @@
+package escape
+
+import (
+	"strings"
+	"testing"
+
+	"lowutil/internal/interp"
+	"lowutil/internal/interproc"
+	"lowutil/internal/ir"
+	"lowutil/internal/mjc"
+	"lowutil/internal/testprogs"
+)
+
+func analyzeSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := mjc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA}))
+}
+
+// findSite locates the audit record of the allocation of class className
+// inside method methodName.
+func findSite(t *testing.T, r *Result, className, methodName string) *SiteInfo {
+	t.Helper()
+	for i := range r.Sites {
+		si := &r.Sites[i]
+		if si.Site.Op == ir.OpNew && si.Site.Class.Name == className && si.Site.Method.Name == methodName {
+			return si
+		}
+	}
+	t.Fatalf("no allocation of %s in %s", className, methodName)
+	return nil
+}
+
+const latticeSrc = `
+class Box { int v; }
+class Holder { Box kept; }
+class Main {
+  static Box make() {
+    Box b = new Box();
+    b.v = 1;
+    return b;
+  }
+  static int use(Holder h) {
+    Box tmp = new Box();
+    tmp.v = 5;
+    int r = tmp.v;
+    h.kept = make();
+    return r;
+  }
+  static void main() {
+    Holder h = new Holder();
+    print(use(h));
+    print(h.kept.v);
+  }
+}`
+
+func TestEscapeLattice(t *testing.T) {
+	r := analyzeSrc(t, latticeSrc)
+
+	// The Box allocated in make is returned by its allocator and stored into
+	// the Holder: arg-escape, confined to the request.
+	ret := findSite(t, r, "Box", "make")
+	if ret.State != ArgEscape {
+		t.Errorf("make's Box: state %v, want %v", ret.State, ArgEscape)
+	}
+	if ret.Region != ConfinedToRequest {
+		t.Errorf("make's Box: region %v, want %v", ret.Region, ConfinedToRequest)
+	}
+
+	// The scratch Box in use never leaves its frame.
+	tmp := findSite(t, r, "Box", "use")
+	if tmp.State != NoEscape {
+		t.Errorf("use's tmp: state %v, want %v", tmp.State, NoEscape)
+	}
+	if tmp.Region != ConfinedToMethod {
+		t.Errorf("use's tmp: region %v, want %v", tmp.Region, ConfinedToMethod)
+	}
+
+	// The Holder is only ever passed down the stack — passing an object as
+	// an argument is not an escape of its own frame.
+	h := findSite(t, r, "Holder", "main")
+	if h.State != NoEscape {
+		t.Errorf("main's Holder: state %v, want %v", h.State, NoEscape)
+	}
+}
+
+func TestGlobalEscapeThroughStatics(t *testing.T) {
+	// KitchenSink stores its Derived instance into a static field — the only
+	// front end for static fields is the IR builder.
+	prog := testprogs.KitchenSink()
+	r := Analyze(interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA}))
+
+	var derived, arr *SiteInfo
+	for i := range r.Sites {
+		si := &r.Sites[i]
+		if si.Site.Op == ir.OpNew && si.Site.Class.Name == "Derived" {
+			derived = si
+		}
+		if si.Site.Op == ir.OpNewArray {
+			arr = si
+		}
+	}
+	if derived == nil || arr == nil {
+		t.Fatal("KitchenSink sites not found")
+	}
+	if derived.State != GlobalEscape || derived.Region != LongLived {
+		t.Errorf("Derived: %v/%v, want %v/%v", derived.State, derived.Region, GlobalEscape, LongLived)
+	}
+	// The int array is used locally and never stored anywhere.
+	if arr.State != NoEscape {
+		t.Errorf("int array: state %v, want %v", arr.State, NoEscape)
+	}
+}
+
+const chainSrc = `
+class Pair { int a; }
+class Sink { int total; }
+class Main {
+  static void main() {
+    Sink s = new Sink();
+    for (int i = 0; i < 3; i = i + 1) {
+      Pair p = new Pair();
+      p.a = i * 2;
+      int copy = p.a;
+      s.total = s.total + copy;
+    }
+    print(s.total);
+  }
+}`
+
+func TestCopyChainAndLoopConfinement(t *testing.T) {
+	r := analyzeSrc(t, chainSrc)
+
+	p := findSite(t, r, "Pair", "main")
+	if !p.CopyChain {
+		t.Errorf("Pair: copy-chain not detected (populate, copy-out to Sink, drop)")
+	}
+	if !p.InLoop {
+		t.Errorf("Pair: loop-confined allocation not detected")
+	}
+	if p.State != NoEscape {
+		t.Errorf("Pair: state %v, want %v", p.State, NoEscape)
+	}
+
+	s := findSite(t, r, "Sink", "main")
+	if s.CopyChain {
+		t.Errorf("Sink: spurious copy-chain (its loads feed computations, not foreign stores)")
+	}
+	if s.InLoop {
+		t.Errorf("Sink: allocated outside the loop, must not be loop-confined")
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	r := analyzeSrc(t, latticeSrc)
+	a, b := r.Report(10), r.Report(10)
+	if a != b {
+		t.Fatal("report not deterministic")
+	}
+	for _, want := range []string{"static audit (mode=rta", "reachable allocation sites", "lifetime:", "shapes:"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("report missing %q:\n%s", want, a)
+		}
+	}
+}
+
+const observeSrc = `
+class Box { int v; }
+class Main {
+  static Box make() {
+    Box b = new Box();
+    b.v = 3;
+    return b;
+  }
+  static void main() {
+    Box kept = make();
+    print(kept.v);
+    Box local = new Box();
+    local.v = 1;
+    print(local.v);
+  }
+}`
+
+func TestObserverRecordsDynamicEscapes(t *testing.T) {
+	prog, err := mjc.Compile(observeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewObserver()
+	m := interp.New(prog)
+	m.Tracer = obs
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := Analyze(interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA}))
+	ret := findSite(t, r, "Box", "make")
+	local := findSite(t, r, "Box", "main")
+
+	escaped := map[int]bool{}
+	for _, s := range obs.EscapedSites() {
+		escaped[s] = true
+	}
+	if !escaped[ret.Site.AllocSite] {
+		t.Errorf("observer missed the returned Box (site %d): escaped=%v",
+			ret.Site.AllocSite, obs.EscapedSites())
+	}
+	if escaped[local.Site.AllocSite] {
+		t.Errorf("observer flagged the frame-local Box (site %d)", local.Site.AllocSite)
+	}
+
+	// Static must cover dynamic on this program too.
+	for _, s := range obs.EscapedSites() {
+		si := r.Site(s)
+		if si == nil || si.State == NoEscape {
+			t.Errorf("dynamically escaped site %d not predicted statically", s)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package escape
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lowutil/internal/interp"
+	"lowutil/internal/interproc"
+	"lowutil/internal/mjc"
+)
+
+// escFuzzSource builds a program whose main loop mixes escape shapes in
+// whatever order the fuzzer chooses: frame-local scratch allocations,
+// allocations captured by a long-lived keeper, allocations returned out of
+// their allocating method, and copy-chains reading a captured object back
+// into a fresh local. Every byte mutates which sites allocate, which
+// escape, and which are dereferenced after their allocating frame popped.
+func escFuzzSource(seq []byte) string {
+	var body strings.Builder
+	for i, b := range seq {
+		switch b % 4 {
+		case 0:
+			fmt.Fprintf(&body, "    total = total + k.drop(%d);\n", i)
+		case 1:
+			fmt.Fprintf(&body, "    k.keep(%d);\n    total = total + k.kept.v;\n", i)
+		case 2:
+			fmt.Fprintf(&body, "    total = total + k.make(%d).v;\n", i)
+		default:
+			fmt.Fprintf(&body, "    k.keep(%d);\n    Node c%d = new Node();\n    c%d.v = k.kept.v;\n    total = total + c%d.v;\n", i, i, i, i)
+		}
+	}
+	return fmt.Sprintf(`
+class Node { int v; }
+class Keeper {
+  Node kept;
+  Node make(int x) { Node n = new Node(); n.v = x; return n; }
+  void keep(int x) { Node n = new Node(); n.v = x + 1; this.kept = n; }
+  int drop(int x) { Node n = new Node(); n.v = x * 2; return n.v; }
+}
+class Main {
+  static void main() {
+    Keeper k = new Keeper();
+    int total = 0;
+%s    print(total);
+  }
+}`, body.String())
+}
+
+// FuzzEscapeMonotone checks the soundness invariant stays monotone under
+// arbitrary program mutations: however the fuzzer reorders and mixes the
+// escape shapes, a site the dynamic profile observes escaping must never be
+// classified below arg-escape statically — in particular a mutation can
+// never demote a dynamically escaping (e.g. globally captured) site to
+// no-escape. Mirrors the FuzzInlineCacheInvalidation structure from the
+// engine differential suite.
+func FuzzEscapeMonotone(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{3, 3, 0, 2, 1, 0})
+	f.Add(bytes.Repeat([]byte{2, 1}, 8))
+	f.Add(bytes.Repeat([]byte{0, 3, 1, 2}, 4))
+	f.Fuzz(func(t *testing.T, seq []byte) {
+		if len(seq) == 0 || len(seq) > 48 {
+			t.Skip()
+		}
+		prog, err := mjc.Compile(escFuzzSource(seq))
+		if err != nil {
+			t.Fatalf("generated program failed to compile: %v", err)
+		}
+		obs := NewObserver()
+		m := interp.New(prog)
+		m.Tracer = obs
+		m.MaxSteps = 10_000_000
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []interproc.Config{
+			{Mode: interproc.CHA},
+			{Mode: interproc.RTA, ObjCtx: true},
+		} {
+			r := Analyze(interproc.Analyze(prog, cfg))
+			for _, s := range obs.EscapedSites() {
+				si := r.Site(s)
+				if si == nil {
+					t.Fatalf("seq %v: dynamically escaped site %d unreachable statically (mode %v)", seq, s, cfg.Mode)
+				}
+				if si.State == NoEscape {
+					t.Fatalf("seq %v: dynamically escaped site %d (%s) demoted to no-escape (mode %v)",
+						seq, s, r.SiteName(si), cfg.Mode)
+				}
+			}
+		}
+	})
+}

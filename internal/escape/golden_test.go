@@ -1,0 +1,55 @@
+package escape
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lowutil/internal/interproc"
+	"lowutil/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the audit golden files under testdata/audit/")
+
+// TestAuditGoldenWorkloads runs the static audit (default configuration:
+// RTA call graph, context-insensitive heap) over every workload and
+// compares the rendered report against testdata/audit/<name>.golden. The
+// goldens pin the escape states, lifetime regions, shapes, and the ranking
+// order byte-for-byte, so any change to the analysis or to emission
+// determinism shows up as a diff. Regenerate deliberately with:
+//
+//	go test ./internal/escape -run TestAuditGoldenWorkloads -update
+//
+// (or `make audit-goldens`).
+func TestAuditGoldenWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Compile(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := Analyze(interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA}))
+			got := r.Report(10)
+			path := filepath.Join("testdata", "audit", w.Name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update or `make audit-goldens`)", err)
+			}
+			if got != string(want) {
+				t.Errorf("audit report diverges from %s (regenerate with -update if intended):\n--- got\n%s--- want\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

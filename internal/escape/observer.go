@@ -1,0 +1,92 @@
+package escape
+
+import (
+	"sort"
+
+	"lowutil/internal/interp"
+	"lowutil/internal/ir"
+)
+
+// Observer is an interp.Tracer recording the dynamic ground truth of the
+// escape lattice: per allocation site, whether any object allocated there
+// was dereferenced after its allocating frame popped. A dereference is a
+// field or element access (load, store, or array-length read) on the object
+// or a virtual dispatch on it as the receiver.
+//
+// The Observer owns Frame.Shadow (a monotonically increasing frame ID) and
+// Object.Shadow (the allocating frame's ID), so it cannot be combined with
+// another Shadow-owning tracer on the same machine.
+type Observer struct {
+	next    int64
+	live    map[int64]bool
+	escaped map[int]bool
+}
+
+// NewObserver returns an Observer ready to install as a machine's Tracer.
+func NewObserver() *Observer {
+	return &Observer{live: make(map[int64]bool), escaped: make(map[int]bool)}
+}
+
+// Exec implements interp.Tracer: allocations tag the new object with the
+// current frame ID; heap accesses check the base object's allocating frame.
+func (o *Observer) Exec(ev *interp.Event) {
+	switch ev.In.Op {
+	case ir.OpNew, ir.OpNewArray:
+		if id, ok := ev.Frame.Shadow.(int64); ok {
+			ev.New.Shadow = id
+		}
+	case ir.OpLoadField, ir.OpStoreField, ir.OpALoad, ir.OpAStore, ir.OpArrayLen:
+		o.deref(ev.Base)
+	}
+}
+
+// BeforeCall implements interp.Tracer: virtual dispatch dereferences the
+// receiver.
+func (o *Observer) BeforeCall(_ *ir.Instr, _ *interp.Frame, _ *ir.Method, recv *interp.Object) {
+	if recv != nil {
+		o.deref(recv)
+	}
+}
+
+// EnterMethod implements interp.Tracer.
+func (o *Observer) EnterMethod(fr *interp.Frame, _ *interp.Object) {
+	o.next++
+	fr.Shadow = o.next
+	o.live[o.next] = true
+}
+
+// BeforeReturn implements interp.Tracer.
+func (o *Observer) BeforeReturn(_ *ir.Instr, fr *interp.Frame) {
+	if id, ok := fr.Shadow.(int64); ok {
+		delete(o.live, id)
+	}
+}
+
+// AfterCall implements interp.Tracer.
+func (o *Observer) AfterCall(*ir.Instr, *interp.Frame, bool) {}
+
+func (o *Observer) deref(obj *interp.Object) {
+	if obj == nil {
+		return
+	}
+	id, ok := obj.Shadow.(int64)
+	if !ok {
+		return
+	}
+	if !o.live[id] {
+		o.escaped[obj.Site] = true
+	}
+}
+
+// EscapedSites returns the allocation-site indices observed escaping their
+// allocating frame, ascending.
+func (o *Observer) EscapedSites() []int {
+	out := make([]int, 0, len(o.escaped))
+	for s := range o.escaped {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+var _ interp.Tracer = (*Observer)(nil)

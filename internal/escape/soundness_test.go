@@ -1,0 +1,74 @@
+package escape
+
+import (
+	"testing"
+
+	"lowutil/internal/interp"
+	"lowutil/internal/interproc"
+	"lowutil/internal/ir"
+	"lowutil/internal/workloads"
+)
+
+// observeEscapes runs prog under the escape Observer and returns the
+// allocation sites that dynamically escaped their allocating frame.
+func observeEscapes(t *testing.T, name string, prog *ir.Program) []int {
+	t.Helper()
+	obs := NewObserver()
+	m := interp.New(prog)
+	m.Tracer = obs
+	m.MaxSteps = 200_000_000
+	if err := m.Run(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return obs.EscapedSites()
+}
+
+// checkEscapeContainment asserts dynamic ⊆ static: every allocation site
+// observed escaping its allocating frame at run time must be classified
+// arg-escape or global-escape by the static analysis.
+func checkEscapeContainment(t *testing.T, name string, escaped []int, r *Result) {
+	t.Helper()
+	label := name + "/" + r.An.CG.Mode.String()
+	for _, s := range escaped {
+		si := r.Site(s)
+		if si == nil {
+			t.Errorf("%s: dynamically escaped site %d is not statically reachable", label, s)
+			continue
+		}
+		if si.State == NoEscape {
+			t.Errorf("%s: dynamically escaped site %d (%s) classified no-escape",
+				label, s, r.SiteName(si))
+		}
+	}
+}
+
+// TestEscapeSoundnessAllWorkloads is the escape soundness harness: on every
+// workload, every allocation site the dynamic Observer sees escaping its
+// allocating frame must be predicted by the static escape analysis, under
+// both the CHA and the RTA call graph (the RTA variant additionally enables
+// the object-sensitive heap, exercising the finer abstract objects).
+func TestEscapeSoundnessAllWorkloads(t *testing.T) {
+	shortSet := map[string]bool{"chart": true, "avrora": true, "hsqldb": true, "luindex": true}
+	totalEscaped := 0
+	for _, w := range workloads.All() {
+		if testing.Short() && !shortSet[w.Name] {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Compile(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			escaped := observeEscapes(t, w.Name, prog)
+			totalEscaped += len(escaped)
+			checkEscapeContainment(t, w.Name, escaped,
+				Analyze(interproc.Analyze(prog, interproc.Config{Mode: interproc.CHA})))
+			checkEscapeContainment(t, w.Name, escaped,
+				Analyze(interproc.Analyze(prog, interproc.Config{Mode: interproc.RTA, ObjCtx: true})))
+		})
+	}
+	if totalEscaped == 0 {
+		t.Error("no workload produced a dynamic escape; the harness would be vacuous")
+	}
+}

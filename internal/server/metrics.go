@@ -9,7 +9,7 @@ import (
 
 // endpoints is the fixed label set for per-endpoint counters; building the
 // maps once at construction keeps the hot path lock-free (atomics only).
-var endpoints = []string{"compile", "profile", "report", "slice", "vet", "run", "save", "load"}
+var endpoints = []string{"compile", "profile", "report", "slice", "audit", "vet", "run", "save", "load"}
 
 // metrics holds the server's counters. Everything is atomic; the rendered
 // /metrics page uses the Prometheus text exposition format so standard
@@ -25,6 +25,9 @@ type metrics struct {
 
 	profileHits   atomic.Int64
 	profileMisses atomic.Int64
+
+	auditHits   atomic.Int64
+	auditMisses atomic.Int64
 
 	profiledSteps atomic.Int64
 	rejected      atomic.Int64
@@ -65,6 +68,8 @@ func (m *metrics) render(w io.Writer, live, inFlight, capacity int) {
 	writeCounter(w, "lowutil_session_evictions_total", "Sessions evicted by the LRU bound.", m.sessionEvictions.Load())
 	writeCounter(w, "lowutil_profile_cache_hits_total", "Profile queries satisfied by a memoized run.", m.profileHits.Load())
 	writeCounter(w, "lowutil_profile_cache_misses_total", "Profile queries that ran the profiler.", m.profileMisses.Load())
+	writeCounter(w, "lowutil_audit_cache_hits_total", "Audit queries satisfied by a memoized analysis.", m.auditHits.Load())
+	writeCounter(w, "lowutil_audit_cache_misses_total", "Audit queries that ran the static analysis.", m.auditMisses.Load())
 	writeCounter(w, "lowutil_profiled_steps_total", "Instruction instances executed by profiling runs.", m.profiledSteps.Load())
 	writeCounter(w, "lowutil_rejected_total", "Requests rejected by admission control.", m.rejected.Load())
 	writeGauge(w, "lowutil_sessions_live", "Sessions currently resident in the cache.", live)

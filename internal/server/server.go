@@ -69,6 +69,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v2/profile", s.instrument("profile", true, s.handleProfile))
 	s.mux.HandleFunc("POST /v2/report", s.instrument("report", true, s.handleReport))
 	s.mux.HandleFunc("POST /v2/slice", s.instrument("slice", true, s.handleSlice))
+	s.mux.HandleFunc("POST /v2/audit", s.instrument("audit", true, s.handleAudit))
 	s.mux.HandleFunc("POST /v2/vet", s.instrument("vet", false, s.handleVet))
 	s.mux.HandleFunc("POST /v2/ssa", s.instrument("ssa", false, s.handleSSA))
 	s.mux.HandleFunc("POST /v2/run", s.instrument("run", true, s.handleRun))
@@ -284,6 +285,13 @@ type sliceRequest struct {
 	Top     int    `json:"top,omitempty"`
 }
 
+type auditRequest struct {
+	Session string `json:"session"`
+	Mode    string `json:"mode,omitempty"`
+	ObjCtx  bool   `json:"objctx,omitempty"`
+	Top     int    `json:"top,omitempty"`
+}
+
 type vetRequest struct {
 	Session string `json:"session"`
 	// Engine selects the vet analysis engine: "ssa" (default) or "dense".
@@ -453,6 +461,35 @@ func (s *Server) handleSlice(ctx context.Context, r *http.Request) (any, error) 
 		return nil, err
 	}
 	return reportResponse{Session: sess.ID, Report: rep}, nil
+}
+
+// handleAudit serves the fully static low-utility audit. Reports are
+// memoized per session under the complete audit configuration, with the
+// same in-flight latch discipline as profiles — concurrent identical
+// requests share one analysis.
+func (s *Server) handleAudit(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[auditRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		return nil, err
+	}
+	top := req.Top
+	if top <= 0 {
+		top = lowutil.DefaultTop
+	}
+	e, hit, err := sess.audit(ctx, auditKey{Mode: req.Mode, ObjCtx: req.ObjCtx, Top: top})
+	if hit {
+		s.met.auditHits.Add(1)
+	} else {
+		s.met.auditMisses.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return reportResponse{Session: sess.ID, CacheHit: hit, Report: e.report}, nil
 }
 
 func (s *Server) handleVet(ctx context.Context, r *http.Request) (any, error) {

@@ -407,6 +407,120 @@ func TestVetAndSlice(t *testing.T) {
 	}
 }
 
+// TestConcurrentAudits drives 8 concurrent audit requests at one session
+// and asserts exactly one of them ran the static analysis: the other seven
+// joined the memoized entry (cache-hit counter) and all eight agree on the
+// rendered report byte for byte.
+func TestConcurrentAudits(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 16})
+	id := compileSession(t, ts.URL, workSrc)
+
+	const n = 8
+	var wg sync.WaitGroup
+	responses := make([]reportResponse, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := postJSON(t, ts.URL+"/v2/audit", auditRequest{Session: id})
+			codes[i] = code
+			json.Unmarshal(body, &responses[i])
+		}(i)
+	}
+	wg.Wait()
+
+	hits := 0
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if responses[i].Report != responses[0].Report {
+			t.Fatalf("request %d: report differs:\n%s\nvs\n%s", i, responses[i].Report, responses[0].Report)
+		}
+		if !strings.Contains(responses[i].Report, "static audit") {
+			t.Fatalf("request %d: report missing header: %q", i, responses[i].Report)
+		}
+		if responses[i].CacheHit {
+			hits++
+		}
+	}
+	if hits != n-1 {
+		t.Errorf("cache hits = %d, want %d (exactly one analysis)", hits, n-1)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_audit_cache_misses_total"); got != 1 {
+		t.Errorf("audit cache misses = %d, want 1", got)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_audit_cache_hits_total"); got != n-1 {
+		t.Errorf("audit cache hits = %d, want %d", got, n-1)
+	}
+
+	// A differently-keyed request runs a second analysis — and because
+	// "rta" is the default mode, its report is byte-identical to the
+	// memoized default-key report: the analysis is deterministic.
+	code, body := postJSON(t, ts.URL+"/v2/audit", auditRequest{Session: id, Mode: "rta"})
+	if code != http.StatusOK {
+		t.Fatalf("explicit-mode audit: status %d: %s", code, body)
+	}
+	var rr reportResponse
+	json.Unmarshal(body, &rr)
+	if rr.CacheHit {
+		t.Error("explicit-mode audit reported a cache hit for a distinct key")
+	}
+	if rr.Report != responses[0].Report {
+		t.Errorf("re-analysis is not byte-stable:\n%s\nvs\n%s", rr.Report, responses[0].Report)
+	}
+	if got := metricValue(t, ts.URL, "lowutil_audit_cache_misses_total"); got != 2 {
+		t.Errorf("audit cache misses = %d, want 2", got)
+	}
+}
+
+// TestAuditCancellationAndDeadline covers the audit context paths: a
+// client that has already gone away gets 499 and the aborted entry is
+// evicted so a retry runs cleanly; an expired per-request deadline gets
+// 504.
+func TestAuditCancellationAndDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{RequestTimeout: time.Minute})
+	id := compileSession(t, ts.URL, workSrc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before the analysis starts
+	buf, _ := json.Marshal(auditRequest{Session: id})
+	req := httptest.NewRequest("POST", "/v2/audit", bytes.NewReader(buf)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Errorf("canceled audit status = %d, want 499; body %s", rec.Code, rec.Body)
+	}
+	sess, ok := s.sessions.get(id)
+	if !ok {
+		t.Fatal("session vanished")
+	}
+	if n := sess.cachedAudits(); n != 0 {
+		t.Errorf("canceled audit left %d cache entries, want 0", n)
+	}
+
+	// The same key retries cleanly after the eviction.
+	code, body := postJSON(t, ts.URL+"/v2/audit", auditRequest{Session: id})
+	if code != http.StatusOK {
+		t.Fatalf("retry after cancel: status %d: %s", code, body)
+	}
+	var rr reportResponse
+	json.Unmarshal(body, &rr)
+	if rr.CacheHit {
+		t.Error("retry after eviction reported a cache hit")
+	}
+
+	// The deadline path: an already-expired per-request timeout produces
+	// 504 (the fixpoints poll the context before converging).
+	_, ts2 := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	id2 := compileSession(t, ts2.URL, workSrc)
+	code, body = postJSON(t, ts2.URL+"/v2/audit", auditRequest{Session: id2})
+	if code != http.StatusGatewayTimeout {
+		t.Errorf("deadline audit status = %d, want 504; body %s", code, body)
+	}
+}
+
 // TestVetEngineAndSSA covers the vet engine selector and the SSA dump
 // endpoint: both engines answer, an unknown engine 400s, and the dump
 // carries SSA structure.

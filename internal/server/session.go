@@ -82,7 +82,37 @@ func (e *profileEntry) use(fn func(pr *lowutil.Profile) error) error {
 	return fn(e.prof)
 }
 
-// Session is one compiled program plus its memoized profiling runs.
+// auditKey is the complete static-audit configuration a cached report is
+// memoized under. Two requests with equal keys share one analysis.
+type auditKey struct {
+	Mode   string
+	ObjCtx bool
+	Top    int
+}
+
+// options expands the key into facade options.
+func (k auditKey) options() []lowutil.AuditOption {
+	opts := []lowutil.AuditOption{lowutil.WithAuditTop(k.Top)}
+	if k.Mode != "" {
+		opts = append(opts, lowutil.WithAuditMode(k.Mode))
+	}
+	if k.ObjCtx {
+		opts = append(opts, lowutil.WithAuditObjCtx())
+	}
+	return opts
+}
+
+// auditEntry latches one static-audit analysis. done closes when
+// report/err are final; the rendered report is immutable afterwards, so
+// readers need no lock.
+type auditEntry struct {
+	done   chan struct{}
+	report string
+	err    error
+}
+
+// Session is one compiled program plus its memoized profiling runs and
+// static-audit reports.
 type Session struct {
 	ID      string
 	Created time.Time
@@ -90,6 +120,7 @@ type Session struct {
 
 	mu       sync.Mutex
 	profiles map[profileKey]*profileEntry
+	audits   map[auditKey]*auditEntry
 }
 
 // profile returns the memoized run for key, computing it under ctx on a
@@ -134,6 +165,56 @@ func (s *Session) profile(ctx context.Context, key profileKey) (*profileEntry, b
 			return nil, true, fmt.Errorf("%w: %w", lowutil.ErrCanceled, ctx.Err())
 		}
 	}
+}
+
+// audit returns the memoized static-audit report for key, computing it
+// under ctx on a miss. Same latch discipline as profile: a hit may wait on
+// an in-flight analysis, a run aborted by cancellation is evicted so the
+// next request retries, and a waiter whose own context is still live
+// retries immediately.
+func (s *Session) audit(ctx context.Context, key auditKey) (*auditEntry, bool, error) {
+	for {
+		s.mu.Lock()
+		if s.audits == nil {
+			s.audits = make(map[auditKey]*auditEntry)
+		}
+		e, hit := s.audits[key]
+		if !hit {
+			e = &auditEntry{done: make(chan struct{})}
+			s.audits[key] = e
+		}
+		s.mu.Unlock()
+
+		if !hit {
+			e.report, e.err = s.Prog.StaticAudit(ctx, key.options()...)
+			if e.err != nil && errors.Is(e.err, lowutil.ErrCanceled) {
+				s.mu.Lock()
+				if s.audits[key] == e {
+					delete(s.audits, key)
+				}
+				s.mu.Unlock()
+			}
+			close(e.done)
+			return e, false, e.err
+		}
+
+		select {
+		case <-e.done:
+			if e.err != nil && errors.Is(e.err, lowutil.ErrCanceled) && ctx.Err() == nil {
+				continue // the computing request was canceled, not this one
+			}
+			return e, true, e.err
+		case <-ctx.Done():
+			return nil, true, fmt.Errorf("%w: %w", lowutil.ErrCanceled, ctx.Err())
+		}
+	}
+}
+
+// cachedAudits reports how many completed audit reports the session holds.
+func (s *Session) cachedAudits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.audits)
 }
 
 // cachedProfiles reports how many completed runs the session holds.

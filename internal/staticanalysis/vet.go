@@ -29,15 +29,26 @@ const (
 	// a call-argument position that no resolved callee ever reads — dead
 	// work the per-method dead-store check cannot see.
 	KindCalleeClobbered
+	// KindConfinedAllocInLoop: a non-escaping allocation inside a loop whose
+	// every use stays within the loop body — one fresh object per iteration
+	// where a single reused object would do.
+	KindConfinedAllocInLoop
+	// KindCopyChain: an allocation exhibiting the alloc → populate →
+	// copy-out → drop shape: the structure is populated, its contents are
+	// copied into a different structure, and the container itself is
+	// dropped — a transient copy vehicle.
+	KindCopyChain
 )
 
 var kindNames = [...]string{
-	KindDeadStore:       "dead-store",
-	KindWriteOnlyField:  "write-only-field",
-	KindUnusedAlloc:     "unused-alloc",
-	KindUnreachable:     "unreachable-code",
-	KindUninitRead:      "uninit-read",
-	KindCalleeClobbered: "callee-clobbered-store",
+	KindDeadStore:           "dead-store",
+	KindWriteOnlyField:      "write-only-field",
+	KindUnusedAlloc:         "unused-alloc",
+	KindUnreachable:         "unreachable-code",
+	KindUninitRead:          "uninit-read",
+	KindCalleeClobbered:     "callee-clobbered-store",
+	KindConfinedAllocInLoop: "confined-alloc-in-loop",
+	KindCopyChain:           "copy-chain",
 }
 
 func (k Kind) String() string {
@@ -102,6 +113,7 @@ func VetDense(prog *ir.Program) []Finding {
 func VetDenseWith(prog *ir.Program, an *interproc.Analysis) []Finding {
 	var out []Finding
 	out = append(out, writeOnlyFields(prog, an)...)
+	out = append(out, escapeLints(an)...)
 	unusedByPT := interprocUnusedObjects(an)
 	for _, c := range prog.Classes {
 		for _, m := range c.Methods {

@@ -22,6 +22,9 @@ import (
 //	uninit-read         ssa ⊆ dense   (executable-edge taint only removes)
 //	callee-clobbered    dense ⊆ ssa ∪ ssa-dead-stores
 //	write-only-field    identical     (the check is engine-independent)
+//	confined-alloc-in-loop, copy-chain
+//	                    identical     (both engines call the shared escape
+//	                                   analysis helper)
 //
 // The callee-clobbered relation is looser because the SSA engine classifies a
 // store whose value transitively feeds only dead computations as a dead store
@@ -84,6 +87,12 @@ func TestVetDifferential(t *testing.T) {
 			checkSubset(t, "callee-clobbered (dense ⊆ ssa ∪ ssa-dead)",
 				keySet(dense, KindCalleeClobbered), ccSuper)
 
+			// The escape lints come from one shared helper: exact equality.
+			for _, k := range []Kind{KindConfinedAllocInLoop, KindCopyChain} {
+				checkSubset(t, k.String()+" (dense ⊆ ssa)", keySet(dense, k), keySet(sparse, k))
+				checkSubset(t, k.String()+" (ssa ⊆ dense)", keySet(sparse, k), keySet(dense, k))
+			}
+
 			// Extra unreachable reports must carry the SCCP message.
 			denseUnreach := keySet(dense, KindUnreachable)
 			for _, f := range sparse {
@@ -116,7 +125,7 @@ func TestVetDifferential(t *testing.T) {
 		})
 
 		report.WriteString(w.Name)
-		for _, k := range []Kind{KindDeadStore, KindWriteOnlyField, KindUnusedAlloc, KindUnreachable, KindUninitRead, KindCalleeClobbered} {
+		for _, k := range []Kind{KindDeadStore, KindWriteOnlyField, KindUnusedAlloc, KindUnreachable, KindUninitRead, KindCalleeClobbered, KindConfinedAllocInLoop, KindCopyChain} {
 			nd, ns := 0, 0
 			for _, f := range dense {
 				if f.Kind == k {

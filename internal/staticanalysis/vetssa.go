@@ -45,6 +45,7 @@ func Vet(prog *ir.Program) []Finding {
 func VetWith(prog *ir.Program, an *interproc.Analysis) []Finding {
 	var out []Finding
 	out = append(out, writeOnlyFields(prog, an)...)
+	out = append(out, escapeLints(an)...)
 	unusedByPT := interprocUnusedObjects(an)
 	for _, c := range prog.Classes {
 		for _, m := range c.Methods {

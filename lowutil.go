@@ -46,6 +46,7 @@ import (
 	"lowutil/internal/costben"
 	"lowutil/internal/deadness"
 	"lowutil/internal/depgraph"
+	"lowutil/internal/escape"
 	"lowutil/internal/interp"
 	"lowutil/internal/interproc"
 	"lowutil/internal/ir"
@@ -89,7 +90,8 @@ func (p *Program) NumInstructions() int { return p.prog.NumInstrs() }
 // VetFinding is one diagnostic from the static vet suite.
 type VetFinding struct {
 	// Kind is the finding class: "dead-store", "write-only-field",
-	// "unused-alloc", "unreachable-code" or "uninit-read".
+	// "unused-alloc", "unreachable-code", "uninit-read",
+	// "callee-clobbered-store", "confined-alloc-in-loop" or "copy-chain".
 	Kind string
 	// Class, Method and PC anchor the finding ("" / -1 for program-level
 	// field findings); Line is the MJ source line when known.
@@ -217,6 +219,58 @@ func (p *Program) staticSlice(ctx context.Context, opts SliceOptions) (string, e
 		return "", wrapRunErr("slice", err)
 	}
 	return an.Report(top), nil
+}
+
+// AuditOptions configures the static low-utility audit.
+type AuditOptions struct {
+	// Mode selects call-graph construction: "cha" (class hierarchy) or
+	// "rta" (rapid type analysis, the default).
+	Mode string
+	// ObjCtx qualifies allocation sites by one level of receiver-object
+	// context.
+	ObjCtx bool
+	// Top bounds the ranked site list in the rendered report (0 = 10).
+	Top int
+}
+
+// StaticAudit runs the fully static low-utility audit — the SSA-based
+// interprocedural escape and lifetime analysis over the points-to heap
+// abstraction — and renders its report: the escape-state and lifetime
+// histograms, copy-chain and loop-confinement shape counts, and the
+// allocation sites ranked by the frequency-weighted static cost/benefit
+// bounds (the static analogue of the dynamic Gcost ranking). No execution
+// is involved; every dynamically observable escape is covered by the
+// static classification (the dynamic ⊆ static invariant cross-validated by
+// the soundness harness), and output is byte-stable across runs. The
+// analysis fixpoints poll ctx, so deadlines and cancellation abort promptly
+// with an ErrCanceled-wrapped error. Options fold over the defaults (mode
+// rta, top DefaultTop).
+func (p *Program) StaticAudit(ctx context.Context, opts ...AuditOption) (string, error) {
+	return p.staticAudit(ctx, applyAuditOptions(opts))
+}
+
+func (p *Program) staticAudit(ctx context.Context, opts AuditOptions) (string, error) {
+	cfg := interproc.Config{Mode: interproc.RTA, ObjCtx: opts.ObjCtx}
+	switch opts.Mode {
+	case "", "rta":
+	case "cha":
+		cfg.Mode = interproc.CHA
+	default:
+		return "", fmt.Errorf("lowutil: unknown call-graph mode %q (want cha or rta)", opts.Mode)
+	}
+	top := opts.Top
+	if top <= 0 {
+		top = DefaultTop
+	}
+	an, err := interproc.AnalyzeContext(ctx, p.prog, cfg)
+	if err != nil {
+		return "", wrapRunErr("audit", err)
+	}
+	r, err := escape.AnalyzeContext(ctx, an)
+	if err != nil {
+		return "", wrapRunErr("audit", err)
+	}
+	return r.Report(top), nil
 }
 
 // RunResult summarizes an uninstrumented execution.

@@ -2,6 +2,8 @@ package lowutil
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -467,6 +469,45 @@ func TestFacadeStaticSlice(t *testing.T) {
 	}
 	if _, err := prog.StaticSlice(SliceOptions{Mode: "0cfa"}); err == nil {
 		t.Error("unknown mode must error")
+	}
+}
+
+func TestFacadeStaticAudit(t *testing.T) {
+	prog, err := Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rep, err := prog.StaticAudit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"static audit (mode=rta", "allocation sites:", "lifetime:", "shapes:"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	rep2, err := prog.StaticAudit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != rep2 {
+		t.Error("static audit report is not byte-stable")
+	}
+	cha, err := prog.StaticAudit(ctx, WithAuditMode("cha"), WithAuditObjCtx(), WithAuditTop(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cha, "mode=cha") || !strings.Contains(cha, "objctx=on") {
+		t.Errorf("cha/objctx header wrong:\n%s", cha)
+	}
+	if _, err := prog.StaticAudit(ctx, WithAuditMode("0cfa")); err == nil {
+		t.Error("unknown mode must error")
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := prog.StaticAudit(canceled); !errors.Is(err, ErrCanceled) {
+		t.Errorf("canceled audit: got %v, want ErrCanceled", err)
 	}
 }
 

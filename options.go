@@ -131,3 +131,36 @@ func applySliceOptions(opts []SliceOption) SliceOptions {
 	}
 	return o
 }
+
+// An AuditOption configures one aspect of a StaticAudit run.
+type AuditOption func(*AuditOptions)
+
+// WithAuditMode selects call-graph construction for the audit: "cha" or
+// "rta" (default).
+func WithAuditMode(mode string) AuditOption {
+	return func(o *AuditOptions) { o.Mode = mode }
+}
+
+// WithAuditObjCtx qualifies allocation sites by one level of
+// receiver-object context during the audit.
+func WithAuditObjCtx() AuditOption {
+	return func(o *AuditOptions) { o.ObjCtx = true }
+}
+
+// WithAuditTop bounds the ranked site list in the audit report.
+func WithAuditTop(n int) AuditOption {
+	return func(o *AuditOptions) {
+		if n > 0 {
+			o.Top = n
+		}
+	}
+}
+
+// applyAuditOptions folds opts over the defaults.
+func applyAuditOptions(opts []AuditOption) AuditOptions {
+	o := AuditOptions{Top: DefaultTop}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}

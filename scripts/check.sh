@@ -4,14 +4,19 @@
 set -e
 cd "$(dirname "$0")/.."
 
-unformatted=$(gofmt -l .)
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt: needs formatting:" >&2
+    echo "gofmt -s: needs formatting:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
 
 go vet ./...
+# A second, named vet pass for the two analyzers whose findings have bitten
+# this codebase before (copied sync.Mutex values, code after panic/return):
+# running them alone makes a failure name the analyzer instead of drowning
+# it in the full-suite output.
+go vet -copylocks -unreachable ./...
 go build ./...
 go test ./...
 # Public-API pin: the exported surface of the root package must match the
@@ -28,6 +33,15 @@ go test ./internal/interproc -run TestSoundnessAllWorkloads -short -count=1
 # (internal/evalharness/testdata/precision.golden) and beating the
 # unweighted bounds on mean Spearman rho.
 go test ./internal/evalharness -run TestPrecisionRankCorrelation -short -count=1
+# Static-audit gates. Soundness runs the full 18-workload sweep (non-short:
+# every dynamically observed escape must be within the static verdict);
+# the golden gate pins the ranked audit reports; the precision gate pins
+# the audit-vs-dynamic Spearman rows and enforces the >= +0.70 mean floor.
+# Regenerate audit goldens after an intended change with
+# `make audit-goldens`.
+go test ./internal/escape -run TestEscapeSoundnessAllWorkloads -count=1
+go test ./internal/escape -run TestAuditGoldenWorkloads -count=1
+go test ./internal/evalharness -run TestAuditPrecisionRankCorrelation -short -count=1
 # The analysis pipeline is parallel; -short keeps the race pass fast by
 # trimming the all-workload differential sweeps to a subset.
 go test -race -short ./...
