@@ -9,12 +9,13 @@ build:
 test:
 	go test ./...
 
-# bench writes BENCH_8.json (min-of-COUNT ns/op per benchmark) and then
-# gates: >10% regression vs the previous BENCH_*.json in the frozen
-# cost-benefit analysis or any profiled_s16 overhead series fails the
-# target. `make check` runs the same comparison report-only.
+# bench writes BENCH_9.json (min-of-COUNT ns/op per benchmark, including
+# the job-queue throughput series from internal/jobs) and then gates: >10%
+# regression vs the previous BENCH_*.json in the frozen cost-benefit
+# analysis or any profiled_s16 overhead series fails the target.
+# `make check` runs the same comparison report-only.
 bench:
-	sh scripts/bench.sh 8
+	sh scripts/bench.sh 9
 	sh scripts/benchdiff.sh
 
 benchdiff:

@@ -1,0 +1,198 @@
+// Package client is the Go SDK for the lowutil profiling service
+// (`lowutil serve`). Every call is context-aware, retries transient
+// failures (connection errors, 429 admission rejections, 5xx responses
+// the server marks retryable) with exponential backoff honoring
+// Retry-After, and surfaces the service's unified error envelope as typed
+// errors mirroring the lowutil facade: ErrCanceled for canceled work,
+// CompileError for source rejections, ProfileError for failed runs.
+//
+// Batch jobs are submitted under an idempotency key — generated per call
+// when the caller passes none — so a retried submission never duplicates
+// work. Event streams resume from the last seen sequence number across
+// reconnects; per-job sequence numbers are dense and timestamp-free, so a
+// resumed stream is byte-identical to an uninterrupted one.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to one lowutil profiling service.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxRetries  int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying http.Client (default:
+// http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries bounds retries per call after the first attempt
+// (default 3; 0 disables retrying).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the retry backoff: attempt k waits base·2^(k-1) capped
+// at max, or the server's Retry-After when that is larger (default
+// 100ms/2s).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.baseBackoff, c.maxBackoff = base, max }
+}
+
+// New builds a client for the service at baseURL (e.g.
+// "http://localhost:8347").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          http.DefaultClient,
+		maxRetries:  3,
+		baseBackoff: 100 * time.Millisecond,
+		maxBackoff:  2 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// doJSON performs one API call with the retry loop: marshal in (nil =
+// no body), POST/GET path, decode into out (nil = discard). Transport
+// errors and responses the envelope marks retryable are retried up to
+// MaxRetries times with capped exponential backoff, honoring Retry-After.
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt), retryAfterOf(lastErr)); err != nil {
+				return err
+			}
+		}
+		lastErr = c.once(ctx, method, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return wrapCtxErr(ctx, lastErr)
+		}
+		if attempt >= c.maxRetries || !IsRetryable(lastErr) {
+			return lastErr
+		}
+	}
+}
+
+// once performs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return &transportError{err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return &transportError{err}
+	}
+	if resp.StatusCode >= 300 {
+		return decodeAPIError(resp.StatusCode, resp.Header, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// backoff computes attempt k's base delay.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.baseBackoff << (attempt - 1)
+	if d > c.maxBackoff || d <= 0 {
+		d = c.maxBackoff
+	}
+	return d
+}
+
+// sleep waits for max(delay, retryAfter) or until ctx ends.
+func (c *Client) sleep(ctx context.Context, delay, retryAfter time.Duration) error {
+	if retryAfter > delay {
+		delay = retryAfter
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// wrapCtxErr prefers the caller's context error over whatever the aborted
+// exchange produced, mirroring the facade's cancellation contract.
+func wrapCtxErr(ctx context.Context, err error) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", context.DeadlineExceeded, err)
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, err)
+}
+
+// newIdempotencyKey generates a batch key for callers that pass none: one
+// key per SubmitBatch call, shared by every retry of that call.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a time-derived key; uniqueness, not secrecy, is the goal.
+		return fmt.Sprintf("k%x", time.Now().UnixNano())
+	}
+	return "k" + hex.EncodeToString(b[:])
+}
+
+// retryAfterOf extracts a server-requested delay from an API error.
+func retryAfterOf(err error) time.Duration {
+	var ae *Error
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter reads a Retry-After header (delay-seconds form).
+func parseRetryAfter(h http.Header) time.Duration {
+	if v := h.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}

@@ -15,6 +15,7 @@
 //	lowutil predicates [flags] prog.mj  always-true/false predicates
 //	lowutil overwrites [flags] prog.mj  heap locations rewritten before read
 //	lowutil serve      [flags]          HTTP profiling service (v2 JSON API)
+//	lowutil batch      [flags]          all 18 workloads through the job queue
 //
 // Flags (profile): -s context slots (default 16), -top findings (default
 // 10), -n reference-tree height (default 4), -traditional for the
@@ -93,6 +94,8 @@ func main() {
 		err = cmdCaches(args)
 	case "serve":
 		err = cmdServe(args)
+	case "batch":
+		err = cmdBatch(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -108,7 +111,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lowutil <command> [flags] <file.mj>
-commands: run, disasm, vet, ssa, slice, audit, profile, nullcheck, copies, predicates, overwrites, caches, serve`)
+commands: run, disasm, vet, ssa, slice, audit, profile, nullcheck, copies, predicates, overwrites, caches, serve, batch`)
 }
 
 // startProfiles starts a CPU profile and/or arranges a post-run heap profile
@@ -179,7 +182,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := prog.Run()
+	res, err := prog.RunContext(context.Background())
 	if err != nil {
 		return err
 	}
@@ -261,12 +264,22 @@ func cmdSlice(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := prog.StaticSlice(lowutil.SliceOptions{Mode: *mode, ObjCtx: *objctx, Top: *top})
+	rep, err := prog.StaticSliceContext(context.Background(), staticOptions(*mode, *objctx, *top)...)
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep)
 	return nil
+}
+
+// staticOptions translates the shared -mode/-objctx/-top flags into the
+// unified analysis options used by both slice and audit.
+func staticOptions(mode string, objctx bool, top int) []lowutil.AnalysisOption {
+	opts := []lowutil.AnalysisOption{lowutil.WithMode(mode), lowutil.WithTop(top)}
+	if objctx {
+		opts = append(opts, lowutil.WithObjCtx())
+	}
+	return opts
 }
 
 func cmdAudit(args []string) error {
@@ -282,11 +295,7 @@ func cmdAudit(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := []lowutil.AuditOption{lowutil.WithAuditMode(*mode), lowutil.WithAuditTop(*top)}
-	if *objctx {
-		opts = append(opts, lowutil.WithAuditObjCtx())
-	}
-	rep, err := prog.StaticAudit(context.Background(), opts...)
+	rep, err := prog.StaticAudit(context.Background(), staticOptions(*mode, *objctx, *top)...)
 	if err != nil {
 		return err
 	}
@@ -336,14 +345,20 @@ func cmdProfile(args []string) error {
 			return err
 		}
 	} else {
-		opts := lowutil.DefaultOptions()
-		opts.Slots = *slots
-		opts.TreeHeight = *height
-		opts.Traditional = *traditional
-		opts.TrackControl = *control
-		opts.StaticPrune = *prune
-		opts.LegacyEngine = *legacy
-		profile, err = prog.Profile(opts)
+		opts := []lowutil.ProfileOption{lowutil.WithSlots(*slots), lowutil.WithTreeHeight(*height)}
+		if *traditional {
+			opts = append(opts, lowutil.WithTraditional())
+		}
+		if *control {
+			opts = append(opts, lowutil.WithTrackControl())
+		}
+		if *prune {
+			opts = append(opts, lowutil.WithPrune())
+		}
+		if *legacy {
+			opts = append(opts, lowutil.WithLegacyEngine())
+		}
+		profile, err = prog.ProfileContext(context.Background(), opts...)
 		if err != nil {
 			return err
 		}
@@ -388,7 +403,7 @@ func cmdCaches(args []string) error {
 	if err != nil {
 		return err
 	}
-	profile, err := prog.Profile(lowutil.ProfileOptions{Slots: *slots})
+	profile, err := prog.ProfileContext(context.Background(), lowutil.WithSlots(*slots))
 	if err != nil {
 		return err
 	}

@@ -58,6 +58,8 @@ func cmdServe(args []string) error {
 	if err := hs.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	srv.Close() // drain the job queue after the listener stops
+
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

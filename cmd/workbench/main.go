@@ -86,7 +86,7 @@ func main() {
 		fmt.Print(w.Source(*scale))
 	case *run != "":
 		prog := compile(*run, *scale)
-		res, err := prog.Run()
+		res, err := prog.RunContext(context.Background())
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -94,28 +94,25 @@ func main() {
 		fmt.Printf("steps=%d allocs=%d nativeWork=%d\n", res.Steps, res.Allocs, res.NativeWork)
 	case *profileName != "":
 		prog := compile(*profileName, *scale)
-		opts := lowutil.DefaultOptions()
-		opts.Slots = *slots
-		opts.LegacyEngine = *legacy
-		profile, err := prog.Profile(opts)
+		opts := []lowutil.ProfileOption{lowutil.WithSlots(*slots)}
+		if *legacy {
+			opts = append(opts, lowutil.WithLegacyEngine())
+		}
+		profile, err := prog.ProfileContext(context.Background(), opts...)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Print(profile.Report(*top))
 	case *sliceName != "":
 		prog := compile(*sliceName, *scale)
-		rep, err := prog.StaticSlice(lowutil.SliceOptions{Mode: *mode, ObjCtx: *objctx, Top: *top})
+		rep, err := prog.StaticSliceContext(context.Background(), staticOptions(*mode, *objctx, *top)...)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Print(rep)
 	case *auditName != "":
 		prog := compile(*auditName, *scale)
-		opts := []lowutil.AuditOption{lowutil.WithAuditMode(*mode), lowutil.WithAuditTop(*top)}
-		if *objctx {
-			opts = append(opts, lowutil.WithAuditObjCtx())
-		}
-		rep, err := prog.StaticAudit(context.Background(), opts...)
+		rep, err := prog.StaticAudit(context.Background(), staticOptions(*mode, *objctx, *top)...)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -144,6 +141,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// staticOptions translates the shared -mode/-objctx/-top flags into the
+// unified analysis options used by both -slice and -audit.
+func staticOptions(mode string, objctx bool, top int) []lowutil.AnalysisOption {
+	opts := []lowutil.AnalysisOption{lowutil.WithMode(mode), lowutil.WithTop(top)}
+	if objctx {
+		opts = append(opts, lowutil.WithObjCtx())
+	}
+	return opts
 }
 
 func compile(name string, scale int) *lowutil.Program {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestCompileAllWorkloadsViaWorkbench(t *testing.T) {
 	for _, name := range []string{"chart", "bloat", "tradesoap"} {
 		prog := compile(name, 1)
-		res, err := prog.Run()
+		res, err := prog.RunContext(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -24,16 +25,16 @@ func TestCompileAllWorkloadsViaWorkbench(t *testing.T) {
 // the static report through the facade without executing the program.
 func TestWorkbenchSlicePanel(t *testing.T) {
 	prog := compile("chart", 1)
-	for _, opts := range []lowutil.SliceOptions{
-		{},
-		{Mode: "cha", ObjCtx: true, Top: 5},
+	for _, opts := range [][]lowutil.AnalysisOption{
+		nil,
+		staticOptions("cha", true, 5),
 	} {
-		rep, err := prog.StaticSlice(opts)
+		rep, err := prog.StaticSliceContext(context.Background(), opts...)
 		if err != nil {
-			t.Fatalf("%+v: %v", opts, err)
+			t.Fatalf("%v", err)
 		}
 		if !strings.Contains(rep, "static slice (mode=") {
-			t.Errorf("%+v: malformed report:\n%s", opts, rep)
+			t.Errorf("malformed report:\n%s", rep)
 		}
 	}
 }

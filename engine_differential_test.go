@@ -9,6 +9,7 @@ package lowutil
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -51,9 +52,11 @@ func compileWorkload(t testing.TB, w *workloads.Workload, scale int) *Program {
 // multi-hop slice report, and the client-analysis stats.
 func profileOutputs(t *testing.T, prog *Program, legacy bool) (report, saved, multihop, stats string) {
 	t.Helper()
-	opts := DefaultOptions()
-	opts.LegacyEngine = legacy
-	profile, err := prog.Profile(opts)
+	var opts []ProfileOption
+	if legacy {
+		opts = append(opts, WithLegacyEngine())
+	}
+	profile, err := prog.ProfileContext(context.Background(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +147,7 @@ func TestConcurrentProfilesShareNoState(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		go func(i int) {
 			defer func() { done <- i }()
-			profile, err := prog.Profile(DefaultOptions())
+			profile, err := prog.ProfileContext(context.Background())
 			if err != nil {
 				errs[i] = err
 				return

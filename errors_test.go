@@ -3,6 +3,7 @@ package lowutil
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -168,6 +169,53 @@ class Main {
 	cancel()
 	if _, err := prog.StaticSliceContext(ctx); !errors.Is(err, ErrCanceled) {
 		t.Errorf("canceled slice: want ErrCanceled, got %v", err)
+	}
+}
+
+// TestDeprecatedShims pins the context-free wrappers (Run, Profile, and the
+// audit-specific With* options) to their replacements: identical results,
+// so external callers on the v1 surface see no behavior change.
+func TestDeprecatedShims(t *testing.T) {
+	prog, err := Compile(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	v1run, err := prog.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2run, err := prog.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(v1run) != fmt.Sprint(v2run) {
+		t.Errorf("Run shim diverges: %+v vs %+v", v1run, v2run)
+	}
+
+	v1prof, err := prog.Profile(ProfileOptions{Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2prof, err := prog.ProfileContext(ctx, WithSlots(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1prof.Report(5) != v2prof.Report(5) {
+		t.Error("Profile shim report diverges from ProfileContext")
+	}
+
+	v1audit, err := prog.StaticAudit(ctx, WithAuditMode("cha"), WithAuditObjCtx(), WithAuditTop(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2audit, err := prog.StaticAudit(ctx, WithMode("cha"), WithObjCtx(), WithTop(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1audit != v2audit {
+		t.Error("audit-specific option shims diverge from the shared options")
 	}
 }
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	profile, err := prog.Profile(lowutil.ProfileOptions{Slots: 64})
+	profile, err := prog.ProfileContext(context.Background(), lowutil.WithSlots(64))
 	if err != nil {
 		log.Fatal(err)
 	}

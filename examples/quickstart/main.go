@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,7 +62,8 @@ func main() {
 	fmt.Println()
 
 	// Plain execution first.
-	res, err := prog.Run()
+	ctx := context.Background()
+	res, err := prog.RunContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +73,7 @@ func main() {
 	// Cost-benefit profiling: abstract dynamic thin slicing with 16 context
 	// slots, relative cost/benefit aggregated over reference trees of
 	// height 4 (the paper's configuration).
-	profile, err := prog.Profile(lowutil.ProfileOptions{Slots: 16})
+	profile, err := prog.ProfileContext(ctx, lowutil.WithSlots(16))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,64 @@
+package par
+
+import "sync"
+
+// Pool is a persistent bounded worker pool. Unlike ForEach, which fans a
+// fixed index space over transient goroutines, a Pool keeps its workers
+// alive across submissions, so long-lived subsystems (the job queue) can
+// bound their total execution parallelism with one shared pool instead of
+// spawning per-task goroutines. Submission blocks until a worker is free —
+// the pool is the backpressure, not a buffer.
+type Pool struct {
+	tasks chan func()
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewPool starts a pool of n workers. n <= 0 is treated as 1.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = 1
+	}
+	p := &Pool{tasks: make(chan func()), stop: make(chan struct{})}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case fn := <-p.tasks:
+					fn()
+				case <-p.stop:
+					return
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Do runs fn on a pool worker and returns when fn has finished. It blocks
+// while all workers are busy. Do reports false without running fn if the
+// pool is (or becomes) closed before a worker picks the task up.
+func (p *Pool) Do(fn func()) bool {
+	done := make(chan struct{})
+	task := func() {
+		defer close(done)
+		fn()
+	}
+	select {
+	case p.tasks <- task:
+		<-done
+		return true
+	case <-p.stop:
+		return false
+	}
+}
+
+// Close stops the workers once their in-flight tasks finish and waits for
+// them to exit. Close is idempotent.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}

@@ -1,0 +1,69 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolBoundsParallelism submits more tasks than workers and asserts the
+// observed concurrency never exceeds the pool size while every task runs.
+func TestPoolBoundsParallelism(t *testing.T) {
+	const workers, tasks = 3, 20
+	p := NewPool(workers)
+	defer p.Close()
+
+	var cur, max, ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok := p.Do(func() {
+				n := cur.Add(1)
+				for {
+					m := max.Load()
+					if n <= m || max.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+				ran.Add(1)
+			})
+			if !ok {
+				t.Error("Do returned false on an open pool")
+			}
+		}()
+	}
+	wg.Wait()
+	if ran.Load() != tasks {
+		t.Errorf("ran %d tasks, want %d", ran.Load(), tasks)
+	}
+	if max.Load() > workers {
+		t.Errorf("observed %d concurrent tasks, pool bound is %d", max.Load(), workers)
+	}
+}
+
+// TestPoolClose asserts Close is idempotent, waits for in-flight work, and
+// makes later submissions report false.
+func TestPoolClose(t *testing.T) {
+	p := NewPool(1)
+	started := make(chan struct{})
+	var finished atomic.Bool
+	go p.Do(func() {
+		close(started)
+		time.Sleep(10 * time.Millisecond)
+		finished.Store(true)
+	})
+	<-started
+	p.Close()
+	if !finished.Load() {
+		t.Error("Close returned before the in-flight task finished")
+	}
+	p.Close() // idempotent
+	if p.Do(func() {}) {
+		t.Error("Do succeeded on a closed pool")
+	}
+}

@@ -1,0 +1,296 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lowutil"
+	"lowutil/internal/jobs"
+)
+
+// This file is the server shell around the internal/jobs queue: the spec
+// executor that resolves batch work through the same session LRU and
+// memoized runs as the synchronous /v2/* endpoints, and the three job
+// endpoints (submit, status, NDJSON event stream).
+
+var errUnknownJob = errors.New("unknown job or batch")
+
+// executeSpec runs one job spec to completion. Each kind produces exactly
+// the JSON body its synchronous endpoint would have returned on a cold
+// cache, so a batch of jobs and a sequence of direct calls are
+// byte-identical. cache_hit is never set in job payloads: results are
+// content-addressed, and whether a run was memoized is scheduling noise
+// that would break deterministic replay.
+func (s *Server) executeSpec(ctx context.Context, spec jobs.Spec) (*jobs.Result, error) {
+	sess, _, err := s.sessionForSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	var payload any
+	switch spec.Kind {
+	case jobs.KindCompile:
+		payload = compileResponse{Session: sess.ID, Instructions: sess.Prog.NumInstructions()}
+
+	case jobs.KindRun:
+		res, err := sess.Prog.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := res.Output
+		if out == nil {
+			out = []int64{}
+		}
+		payload = runResponse{
+			Session: sess.ID, Output: out,
+			Steps: res.Steps, Allocs: res.Allocs, NativeWork: res.NativeWork,
+		}
+
+	case jobs.KindProfile:
+		e, _, err := s.cachedProfile(ctx, sess, specProfileParams(spec))
+		if err != nil {
+			return nil, err
+		}
+		resp := profileResponse{Session: sess.ID, Top: []findingJSON{}}
+		e.use(func(pr *lowutil.Profile) error {
+			resp.Steps = pr.Steps()
+			resp.Pruned = pr.PrunedEvents()
+			for _, f := range pr.TopStructures(topOrDefault(spec.Top)) {
+				resp.Top = append(resp.Top, findingJSON{
+					Site: f.Site, Where: f.Where, Cost: f.Cost, Benefit: f.Benefit,
+					Rate: f.Rate, ReachesConsumer: f.ReachesConsumer, Allocs: f.Allocs,
+				})
+			}
+			return nil
+		})
+		payload = resp
+
+	case jobs.KindReport:
+		e, _, err := s.cachedProfile(ctx, sess, specProfileParams(spec))
+		if err != nil {
+			return nil, err
+		}
+		resp := reportResponse{Session: sess.ID}
+		e.use(func(pr *lowutil.Profile) error {
+			resp.Report = pr.Report(topOrDefault(spec.Top))
+			return nil
+		})
+		payload = resp
+
+	case jobs.KindSlice:
+		opts := []lowutil.SliceOption{lowutil.WithTop(spec.Top)}
+		if spec.Mode != "" {
+			opts = append(opts, lowutil.WithMode(spec.Mode))
+		}
+		if spec.ObjCtx {
+			opts = append(opts, lowutil.WithObjCtx())
+		}
+		rep, err := sess.Prog.StaticSliceContext(ctx, opts...)
+		if err != nil {
+			return nil, err
+		}
+		payload = reportResponse{Session: sess.ID, Report: rep}
+
+	case jobs.KindAudit:
+		e, hit, err := sess.audit(ctx, auditKey{Mode: spec.Mode, ObjCtx: spec.ObjCtx, Top: topOrDefault(spec.Top)})
+		if hit {
+			s.met.auditHits.Add(1)
+		} else {
+			s.met.auditMisses.Add(1)
+		}
+		if err != nil {
+			return nil, err
+		}
+		payload = reportResponse{Session: sess.ID, Report: e.report}
+
+	default:
+		return nil, &badRequestError{fmt.Errorf("unknown job kind %q", spec.Kind)}
+	}
+
+	// Compact encoding: identical to the synchronous body modulo JSON
+	// framing (the synchronous path streams via Encoder, which appends a
+	// newline that re-marshaling a RawMessage would strip anyway).
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &jobs.Result{Kind: spec.Kind, Payload: raw}, nil
+}
+
+// sessionForSpec resolves (compiling on demand) the session for a spec's
+// program through the server's session LRU — batch jobs and synchronous
+// requests share one compiled-program cache.
+func (s *Server) sessionForSpec(spec jobs.Spec) (*Session, bool, error) {
+	mc, mm := spec.MainClass, spec.MainMethod
+	if mc == "" {
+		mc = "Main"
+	}
+	if mm == "" {
+		mm = "main"
+	}
+	id := sessionKey(spec.Source, mc, mm)
+	if sess, ok := s.sessions.get(id); ok {
+		s.met.sessionHits.Add(1)
+		return sess, true, nil
+	}
+	prog, err := lowutil.CompileAt(spec.Source, mc, mm)
+	if err != nil {
+		return nil, false, err
+	}
+	sess, inserted, evicted := s.sessions.add(&Session{ID: id, Created: time.Now(), Prog: prog})
+	if inserted {
+		s.met.sessionsCreated.Add(1)
+	} else {
+		s.met.sessionHits.Add(1)
+	}
+	s.met.sessionEvictions.Add(int64(evicted))
+	return sess, !inserted, nil
+}
+
+// specProfileParams maps a job spec's profiling fields onto the memoized
+// run key shared with the synchronous endpoints.
+func specProfileParams(spec jobs.Spec) profileParams {
+	return profileParams{
+		Slots: spec.Slots, TreeHeight: spec.TreeHeight,
+		Traditional: spec.Traditional, TrackControl: spec.TrackControl,
+		Prune: spec.Prune, Legacy: spec.Legacy,
+	}
+}
+
+func topOrDefault(top int) int {
+	if top <= 0 {
+		return lowutil.DefaultTop
+	}
+	return top
+}
+
+// ---- job endpoints ----
+
+// jobSubmission is one job of a batch submission.
+type jobSubmission struct {
+	jobs.Spec
+	// Priority orders jobs in the queue — higher runs earlier.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS bounds the job's total lifetime from submission in
+	// milliseconds, across retries (0 = none).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+type jobsRequest struct {
+	// Key is the batch idempotency key: resubmitting the same key with the
+	// same jobs returns the original IDs without enqueuing anything. Empty
+	// derives the key from the batch content.
+	Key  string          `json:"key,omitempty"`
+	Jobs []jobSubmission `json:"jobs"`
+}
+
+type jobsResponse struct {
+	Batch string           `json:"batch"`
+	Jobs  []jobs.Submitted `json:"jobs"`
+}
+
+type batchStatusResponse struct {
+	Batch string         `json:"batch"`
+	Jobs  []*jobs.Status `json:"jobs"`
+}
+
+func (s *Server) handleJobsSubmit(ctx context.Context, r *http.Request) (any, error) {
+	req, err := decode[jobsRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Jobs) == 0 {
+		return nil, &badRequestError{errors.New("empty batch")}
+	}
+	reqs := make([]jobs.Request, len(req.Jobs))
+	for i, j := range req.Jobs {
+		reqs[i] = jobs.Request{
+			Spec:     j.Spec,
+			Priority: j.Priority,
+			Deadline: time.Duration(j.DeadlineMS) * time.Millisecond,
+		}
+	}
+	key := req.Key
+	if key == "" {
+		key = contentKey(reqs)
+	}
+	batch, subs, err := s.jobs.Submit(key, reqs)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrBatchConflict):
+			return nil, err
+		default:
+			return nil, &badRequestError{err}
+		}
+	}
+	return jobsResponse{Batch: batch, Jobs: subs}, nil
+}
+
+// contentKey derives an idempotency key for keyless submissions from the
+// batch content, so a blind retry of the same batch still deduplicates.
+func contentKey(reqs []jobs.Request) string {
+	h := sha256.New()
+	for _, r := range reqs {
+		fmt.Fprintf(h, "%s\x00%d\x00%d\x00", r.Spec.Hash(), r.Priority, r.Deadline)
+	}
+	return "content-" + hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// handleJobStatus serves GET /v2/jobs/{id} for both job IDs ("j…") and
+// batch IDs ("b…").
+func (s *Server) handleJobStatus(ctx context.Context, r *http.Request) (any, error) {
+	id := r.PathValue("id")
+	if st, ok := s.jobs.Status(id); ok {
+		return st, nil
+	}
+	if sts, ok := s.jobs.BatchStatus(id); ok {
+		return batchStatusResponse{Batch: id, Jobs: sts}, nil
+	}
+	return nil, fmt.Errorf("%w: %s", errUnknownJob, id)
+}
+
+// handleJobEvents streams GET /v2/jobs/{id}/events as NDJSON: the job's
+// event log from ?after= (default 0) onward, following live until the job
+// reaches a terminal state or the client disconnects. Events carry dense
+// per-job sequence numbers and no timestamps, so a reconnecting client
+// that resumes with after=<last seen seq> reconstructs the exact stream.
+// Streaming is not subject to the per-request timeout.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.request("events")
+	id := r.PathValue("id")
+	after, _ := strconv.Atoi(r.URL.Query().Get("after"))
+	if _, ok := s.jobs.Status(id); !ok {
+		s.met.failure("events")
+		status := s.writeErr(w, fmt.Errorf("%w: %s", errUnknownJob, id))
+		s.logLine(r, "events", status, start)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	err := s.jobs.Events(r.Context(), id, after, func(ev jobs.Event) error {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	status := http.StatusOK
+	if err != nil {
+		// Headers are long gone: the disconnect or encode failure just ends
+		// the stream. The client resumes with ?after=.
+		s.met.failure("events")
+		status = 499
+	}
+	s.logLine(r, "events", status, start)
+}

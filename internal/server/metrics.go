@@ -5,11 +5,13 @@ import (
 	"io"
 	"sort"
 	"sync/atomic"
+
+	"lowutil/internal/jobs"
 )
 
 // endpoints is the fixed label set for per-endpoint counters; building the
 // maps once at construction keeps the hot path lock-free (atomics only).
-var endpoints = []string{"compile", "profile", "report", "slice", "audit", "vet", "run", "save", "load"}
+var endpoints = []string{"compile", "profile", "report", "slice", "audit", "vet", "run", "save", "load", "jobs", "job", "events"}
 
 // metrics holds the server's counters. Everything is atomic; the rendered
 // /metrics page uses the Prometheus text exposition format so standard
@@ -57,9 +59,9 @@ func (m *metrics) failure(endpoint string) {
 	}
 }
 
-// render writes the exposition page. live/inFlight/capacity are sampled
-// gauges supplied by the server.
-func (m *metrics) render(w io.Writer, live, inFlight, capacity int) {
+// render writes the exposition page. live/inFlight/capacity and js are
+// sampled gauges and counters supplied by the server.
+func (m *metrics) render(w io.Writer, live, inFlight, capacity int, js jobs.Stats) {
 	writeCounterVec(w, "lowutil_requests_total", "Requests served, by endpoint.", m.requests)
 	writeCounterVec(w, "lowutil_request_failures_total", "Requests that ended in an error response, by endpoint.", m.failures)
 	writeCounter(w, "lowutil_sessions_created_total", "Sessions compiled and inserted into the cache.", m.sessionsCreated.Load())
@@ -72,6 +74,18 @@ func (m *metrics) render(w io.Writer, live, inFlight, capacity int) {
 	writeCounter(w, "lowutil_audit_cache_misses_total", "Audit queries that ran the static analysis.", m.auditMisses.Load())
 	writeCounter(w, "lowutil_profiled_steps_total", "Instruction instances executed by profiling runs.", m.profiledSteps.Load())
 	writeCounter(w, "lowutil_rejected_total", "Requests rejected by admission control.", m.rejected.Load())
+	writeCounter(w, "lowutil_jobs_submitted_total", "Batch jobs accepted by the queue.", js.Submitted)
+	writeCounter(w, "lowutil_jobs_deduped_total", "Batch jobs answered from an existing idempotent submission.", js.Deduped)
+	writeCounter(w, "lowutil_jobs_completed_total", "Batch jobs finished successfully.", js.Completed)
+	writeCounter(w, "lowutil_jobs_failed_total", "Batch jobs finished in failure.", js.Failed)
+	writeCounter(w, "lowutil_jobs_retries_total", "Transient job failures that scheduled a backoff retry.", js.Retries)
+	writeCounter(w, "lowutil_jobs_requeued_total", "In-flight jobs re-queued by a drain.", js.Requeued)
+	writeCounter(w, "lowutil_job_result_hits_total", "Job executions satisfied by the content-addressed result store.", js.ResultHits)
+	writeCounter(w, "lowutil_job_result_misses_total", "Job executions that ran the executor.", js.ResultMisses)
+	writeCounter(w, "lowutil_job_result_evictions_total", "Job results dropped by the store LRU bound.", js.Evictions)
+	writeGauge(w, "lowutil_jobs_queued", "Jobs currently waiting in the queue (incl. retry backoff).", int(js.Queued))
+	writeGauge(w, "lowutil_jobs_running", "Jobs currently executing.", int(js.Running))
+	writeGauge(w, "lowutil_job_results_live", "Job results currently resident in the store.", js.Results)
 	writeGauge(w, "lowutil_sessions_live", "Sessions currently resident in the cache.", live)
 	writeGauge(w, "lowutil_inflight_requests", "Heavy requests currently holding an admission slot.", inFlight)
 	writeGauge(w, "lowutil_inflight_capacity", "Admission slots available in total.", capacity)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lowutil"
+	"lowutil/internal/jobs"
 	"lowutil/internal/par"
 )
 
@@ -27,6 +28,11 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logger receives one structured line per request (nil = slog default).
 	Logger *slog.Logger
+	// Jobs tunes the async batch-job queue behind POST /v2/jobs. The
+	// Executor field is ignored — the server installs its own, which
+	// resolves specs through the session LRU and memoized runs. The
+	// FaultHook field is honored (tests inject deterministic failures).
+	Jobs jobs.Config
 }
 
 // Server is the lowutil profiling service. Create with New, expose with
@@ -38,6 +44,7 @@ type Server struct {
 	met      *metrics
 	log      *slog.Logger
 	mux      *http.ServeMux
+	jobs     *jobs.Queue
 }
 
 // New builds a Server from cfg.
@@ -60,9 +67,17 @@ func New(cfg Config) *Server {
 		log:      log,
 		mux:      http.NewServeMux(),
 	}
+	jc := cfg.Jobs
+	jc.Executor = jobs.ExecutorFunc(s.executeSpec)
+	s.jobs = jobs.New(jc)
 	s.routes()
 	return s
 }
+
+// Close drains the job queue gracefully: in-flight jobs are canceled and
+// re-queued (nothing is lost — a restarted server resumes them on
+// resubmission), workers exit. Call after http.Server.Shutdown.
+func (s *Server) Close() { s.jobs.Drain() }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v2/compile", s.instrument("compile", false, s.handleCompile))
@@ -75,6 +90,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v2/run", s.instrument("run", true, s.handleRun))
 	s.mux.HandleFunc("POST /v2/profile/save", s.instrument("save", true, s.handleSave))
 	s.mux.HandleFunc("POST /v2/profile/load", s.instrument("load", true, s.handleLoad))
+	s.mux.HandleFunc("POST /v2/jobs", s.instrument("jobs", false, s.handleJobsSubmit))
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.instrument("job", false, s.handleJobStatus))
+	s.mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -89,11 +107,22 @@ func (s *Server) routes() {
 // Handler returns the service's root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// apiError is the uniform error payload.
-type apiError struct {
-	Error string `json:"error"`
-	Line  int    `json:"line,omitempty"`
-	Col   int    `json:"col,omitempty"`
+// errorBody is the unified typed error payload every /v2/* endpoint
+// returns, wrapped in an errorEnvelope. Code is a stable machine-readable
+// slug; Retryable tells clients whether backing off and retrying the same
+// request can succeed (the client SDK keys its retry loop off it).
+type errorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+	Stage     string `json:"stage,omitempty"`
+	Line      int    `json:"line,omitempty"`
+	Col       int    `json:"col,omitempty"`
+}
+
+// errorEnvelope wraps every error response: {"error":{...}}.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
 }
 
 var errUnknownSession = errors.New("unknown session (expired from the cache or never compiled)")
@@ -109,7 +138,9 @@ func (s *Server) instrument(name string, heavy bool, h func(ctx context.Context,
 			if !s.gate.TryAcquire() {
 				s.met.rejected.Add(1)
 				w.Header().Set("Retry-After", "1")
-				s.writeJSON(w, http.StatusTooManyRequests, apiError{Error: "server at capacity"})
+				s.writeJSON(w, http.StatusTooManyRequests, errorEnvelope{Error: errorBody{
+					Code: "at_capacity", Message: "server at capacity", Retryable: true,
+				}})
 				s.logLine(r, name, http.StatusTooManyRequests, start)
 				return
 			}
@@ -143,29 +174,50 @@ func (s *Server) logLine(r *http.Request, endpoint string, status int, start tim
 	)
 }
 
-// writeErr maps facade errors onto transport statuses: compile failures
-// are the client's fault (422), unknown sessions 404, bad payloads 400,
-// deadline expiry 504, cancellation 499 (client gone), the rest 500.
+// writeErr maps facade errors onto transport statuses and the unified
+// envelope: compile failures are the client's fault (422), unknown
+// sessions or jobs 404, bad payloads 400, a full job queue 429, a batch
+// key conflict 409, deadline expiry 504, cancellation 499 (client gone),
+// the rest 500.
 func (s *Server) writeErr(w http.ResponseWriter, err error) int {
+	status, body := classifyErr(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeJSON(w, status, errorEnvelope{Error: body})
+	return status
+}
+
+// classifyErr is the single mapping from Go errors to (status, envelope
+// body). Cancellation is checked before profile errors: a run aborted by
+// the client's disconnect wraps ErrCanceled inside a ProfileError, and the
+// disconnect is the truth of the matter.
+func classifyErr(err error) (int, errorBody) {
 	var ce *lowutil.CompileError
+	var pe *lowutil.ProfileError
 	var badReq *badRequestError
 	status := http.StatusInternalServerError
-	payload := apiError{Error: err.Error()}
+	body := errorBody{Code: "internal", Message: err.Error()}
 	switch {
 	case errors.As(err, &ce):
-		status = http.StatusUnprocessableEntity
-		payload.Line, payload.Col = ce.Line, ce.Col
+		status, body.Code = http.StatusUnprocessableEntity, "compile_error"
+		body.Line, body.Col = ce.Line, ce.Col
 	case errors.As(err, &badReq):
-		status = http.StatusBadRequest
-	case errors.Is(err, errUnknownSession):
-		status = http.StatusNotFound
+		status, body.Code = http.StatusBadRequest, "bad_request"
+	case errors.Is(err, errUnknownSession), errors.Is(err, errUnknownJob):
+		status, body.Code = http.StatusNotFound, "not_found"
+	case errors.Is(err, jobs.ErrQueueFull):
+		status, body.Code, body.Retryable = http.StatusTooManyRequests, "at_capacity", true
+	case errors.Is(err, jobs.ErrBatchConflict):
+		status, body.Code = http.StatusConflict, "conflict"
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		status, body.Code = http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, lowutil.ErrCanceled), errors.Is(err, context.Canceled):
-		status = 499 // client closed request (nginx convention)
+		status, body.Code, body.Retryable = 499, "canceled", true // client closed request (nginx convention)
+	case errors.As(err, &pe):
+		body.Code, body.Stage = "profile_error", pe.Stage
 	}
-	s.writeJSON(w, status, payload)
-	return status
+	return status, body
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -605,5 +657,5 @@ func (s *Server) handleLoad(ctx context.Context, r *http.Request) (any, error) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, s.sessions.len(), s.gate.InFlight(), s.gate.Cap())
+	s.met.render(w, s.sessions.len(), s.gate.InFlight(), s.gate.Cap(), s.jobs.Stats())
 }

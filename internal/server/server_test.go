@@ -62,8 +62,24 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	}
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
 	return s, ts
+}
+
+// decodeEnvelope parses the unified error envelope out of an error body.
+func decodeEnvelope(t *testing.T, body []byte) errorBody {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("malformed error envelope %s: %v", body, err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %s", body)
+	}
+	return env.Error
 }
 
 func postJSON(t *testing.T, url string, body any) (int, []byte) {
@@ -231,6 +247,9 @@ func TestCancellation(t *testing.T) {
 	if rec.Code != 499 {
 		t.Errorf("status = %d, want 499; body %s", rec.Code, rec.Body)
 	}
+	if eb := decodeEnvelope(t, rec.Body.Bytes()); eb.Code != "canceled" || !eb.Retryable {
+		t.Errorf("499 envelope = %+v, want retryable canceled", eb)
+	}
 	sess, ok := s.sessions.get(id)
 	if !ok {
 		t.Fatal("session vanished")
@@ -245,6 +264,9 @@ func TestCancellation(t *testing.T) {
 	code, body := postJSON(t, ts2.URL+"/v2/profile", profileRequest{Session: id2})
 	if code != http.StatusGatewayTimeout {
 		t.Errorf("deadline status = %d, want 504; body %s", code, body)
+	}
+	if eb := decodeEnvelope(t, body); eb.Code != "deadline" || eb.Retryable {
+		t.Errorf("504 envelope = %+v, want non-retryable deadline", eb)
 	}
 }
 
@@ -261,6 +283,9 @@ func TestAdmissionControl(t *testing.T) {
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429; body %s", code, body)
 	}
+	if eb := decodeEnvelope(t, body); eb.Code != "at_capacity" || !eb.Retryable {
+		t.Errorf("429 envelope = %+v, want retryable at_capacity", eb)
+	}
 	if code, _ := postJSON(t, ts.URL+"/v2/vet", vetRequest{Session: id}); code != http.StatusOK {
 		t.Errorf("light endpoint rejected: %d", code)
 	}
@@ -269,23 +294,30 @@ func TestAdmissionControl(t *testing.T) {
 	}
 }
 
-// TestErrorMapping covers the typed-error → status contract.
+// TestErrorMapping covers the typed-error → status contract: every error
+// arrives in the unified {"error":{code,message,retryable}} envelope.
 func TestErrorMapping(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	code, body := postJSON(t, ts.URL+"/v2/compile", compileRequest{Source: "class Main { static void main() { print(x); } }"})
 	if code != http.StatusUnprocessableEntity {
 		t.Fatalf("compile error status = %d, want 422; body %s", code, body)
 	}
-	var ae apiError
-	json.Unmarshal(body, &ae)
-	if ae.Line <= 0 || ae.Error == "" {
-		t.Errorf("422 payload lacks position: %+v", ae)
+	if eb := decodeEnvelope(t, body); eb.Code != "compile_error" || eb.Line <= 0 || eb.Retryable {
+		t.Errorf("422 envelope = %+v, want compile_error with position", eb)
 	}
-	if code, _ := postJSON(t, ts.URL+"/v2/profile", profileRequest{Session: "deadbeef"}); code != http.StatusNotFound {
+	code, body = postJSON(t, ts.URL+"/v2/profile", profileRequest{Session: "deadbeef"})
+	if code != http.StatusNotFound {
 		t.Errorf("unknown session status = %d, want 404", code)
 	}
-	if code, _ := postJSON(t, ts.URL+"/v2/profile", profileRequest{}); code != http.StatusBadRequest {
+	if eb := decodeEnvelope(t, body); eb.Code != "not_found" || eb.Retryable {
+		t.Errorf("404 envelope = %+v, want not_found", eb)
+	}
+	code, body = postJSON(t, ts.URL+"/v2/profile", profileRequest{})
+	if code != http.StatusBadRequest {
 		t.Errorf("missing session status = %d, want 400", code)
+	}
+	if eb := decodeEnvelope(t, body); eb.Code != "bad_request" || eb.Retryable {
+		t.Errorf("400 envelope = %+v, want bad_request", eb)
 	}
 }
 

@@ -92,12 +92,12 @@ type auditKey struct {
 
 // options expands the key into facade options.
 func (k auditKey) options() []lowutil.AuditOption {
-	opts := []lowutil.AuditOption{lowutil.WithAuditTop(k.Top)}
+	opts := []lowutil.AuditOption{lowutil.WithTop(k.Top)}
 	if k.Mode != "" {
-		opts = append(opts, lowutil.WithAuditMode(k.Mode))
+		opts = append(opts, lowutil.WithMode(k.Mode))
 	}
 	if k.ObjCtx {
-		opts = append(opts, lowutil.WithAuditObjCtx())
+		opts = append(opts, lowutil.WithObjCtx())
 	}
 	return opts
 }

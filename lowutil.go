@@ -164,8 +164,10 @@ func (p *Program) SSADump(method string) (string, error) {
 	return b.String(), nil
 }
 
-// SliceOptions configures the interprocedural static slice.
-type SliceOptions struct {
+// AnalysisOptions configures the static analyses — the interprocedural
+// slice and the low-utility audit share one vocabulary, because both run
+// over the same call graph and points-to heap abstraction.
+type AnalysisOptions struct {
 	// Mode selects call-graph construction: "cha" (class hierarchy) or
 	// "rta" (rapid type analysis, the default).
 	Mode string
@@ -173,9 +175,17 @@ type SliceOptions struct {
 	// context — the static mirror of the dynamic profiler's
 	// receiver-object-sensitive slots.
 	ObjCtx bool
-	// Top bounds the candidate list in the rendered report (0 = 10).
+	// Top bounds the candidate list in the rendered report (0 = DefaultTop).
 	Top int
 }
+
+// SliceOptions is the static slice's view of the shared analysis
+// configuration.
+type SliceOptions = AnalysisOptions
+
+// AuditOptions is the static audit's view of the shared analysis
+// configuration.
+type AuditOptions = AnalysisOptions
 
 // StaticSlice builds the whole-program static thin slice — call graph,
 // points-to relation, and the static over-approximation of Gcost — and
@@ -198,10 +208,10 @@ func (p *Program) StaticSlice(opts SliceOptions) (string, error) {
 // the analysis promptly with an ErrCanceled-wrapped error. Options fold
 // over the defaults (mode rta, top DefaultTop).
 func (p *Program) StaticSliceContext(ctx context.Context, opts ...SliceOption) (string, error) {
-	return p.staticSlice(ctx, applySliceOptions(opts))
+	return p.staticSlice(ctx, applyAnalysisOptions(opts))
 }
 
-func (p *Program) staticSlice(ctx context.Context, opts SliceOptions) (string, error) {
+func (p *Program) staticSlice(ctx context.Context, opts AnalysisOptions) (string, error) {
 	cfg := interproc.Config{Mode: interproc.RTA, ObjCtx: opts.ObjCtx}
 	switch opts.Mode {
 	case "", "rta":
@@ -221,18 +231,6 @@ func (p *Program) staticSlice(ctx context.Context, opts SliceOptions) (string, e
 	return an.Report(top), nil
 }
 
-// AuditOptions configures the static low-utility audit.
-type AuditOptions struct {
-	// Mode selects call-graph construction: "cha" (class hierarchy) or
-	// "rta" (rapid type analysis, the default).
-	Mode string
-	// ObjCtx qualifies allocation sites by one level of receiver-object
-	// context.
-	ObjCtx bool
-	// Top bounds the ranked site list in the rendered report (0 = 10).
-	Top int
-}
-
 // StaticAudit runs the fully static low-utility audit — the SSA-based
 // interprocedural escape and lifetime analysis over the points-to heap
 // abstraction — and renders its report: the escape-state and lifetime
@@ -246,10 +244,10 @@ type AuditOptions struct {
 // with an ErrCanceled-wrapped error. Options fold over the defaults (mode
 // rta, top DefaultTop).
 func (p *Program) StaticAudit(ctx context.Context, opts ...AuditOption) (string, error) {
-	return p.staticAudit(ctx, applyAuditOptions(opts))
+	return p.staticAudit(ctx, applyAnalysisOptions(opts))
 }
 
-func (p *Program) staticAudit(ctx context.Context, opts AuditOptions) (string, error) {
+func (p *Program) staticAudit(ctx context.Context, opts AnalysisOptions) (string, error) {
 	cfg := interproc.Config{Mode: interproc.RTA, ObjCtx: opts.ObjCtx}
 	switch opts.Mode {
 	case "", "rta":

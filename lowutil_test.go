@@ -40,7 +40,7 @@ func TestFacadeCompileRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := prog.Run()
+	res, err := prog.RunContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestFacadeProfileFlagsPoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	profile, err := prog.Profile(ProfileOptions{Slots: 16})
+	profile, err := prog.ProfileContext(context.Background(), WithSlots(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ class Main {
 	if err != nil {
 		t.Fatal(err)
 	}
-	profile, err := prog.Profile(ProfileOptions{Slots: 16})
+	profile, err := prog.ProfileContext(context.Background(), WithSlots(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ class Main {
 	if err != nil {
 		t.Fatal(err)
 	}
-	profile, err := prog.Profile(ProfileOptions{Slots: 16})
+	profile, err := prog.ProfileContext(context.Background(), WithSlots(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,11 +366,11 @@ class Main {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := prog.Profile(ProfileOptions{Slots: 16})
+	plain, err := prog.ProfileContext(context.Background(), WithSlots(16))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := prog.Profile(ProfileOptions{Slots: 16, TrackControl: true})
+	ctrl, err := prog.ProfileContext(context.Background(), WithSlots(16), WithTrackControl())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +395,7 @@ func TestFacadeSaveLoadProfile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	live, err := prog.Profile(ProfileOptions{Slots: 16})
+	live, err := prog.ProfileContext(context.Background(), WithSlots(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,7 +444,7 @@ func TestFacadeStaticSlice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := prog.StaticSlice(SliceOptions{})
+	rep, err := prog.StaticSliceContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,21 +453,21 @@ func TestFacadeStaticSlice(t *testing.T) {
 			t.Errorf("report missing %q:\n%s", want, rep)
 		}
 	}
-	rep2, err := prog.StaticSlice(SliceOptions{})
+	rep2, err := prog.StaticSliceContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep != rep2 {
 		t.Error("static slice report is not byte-stable")
 	}
-	cha, err := prog.StaticSlice(SliceOptions{Mode: "cha", ObjCtx: true, Top: 3})
+	cha, err := prog.StaticSliceContext(context.Background(), WithMode("cha"), WithObjCtx(), WithTop(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(cha, "mode=cha") || !strings.Contains(cha, "objctx=on") {
 		t.Errorf("cha/objctx header wrong:\n%s", cha)
 	}
-	if _, err := prog.StaticSlice(SliceOptions{Mode: "0cfa"}); err == nil {
+	if _, err := prog.StaticSliceContext(context.Background(), WithMode("0cfa")); err == nil {
 		t.Error("unknown mode must error")
 	}
 }
@@ -494,14 +494,14 @@ func TestFacadeStaticAudit(t *testing.T) {
 	if rep != rep2 {
 		t.Error("static audit report is not byte-stable")
 	}
-	cha, err := prog.StaticAudit(ctx, WithAuditMode("cha"), WithAuditObjCtx(), WithAuditTop(3))
+	cha, err := prog.StaticAudit(ctx, WithMode("cha"), WithObjCtx(), WithTop(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(cha, "mode=cha") || !strings.Contains(cha, "objctx=on") {
 		t.Errorf("cha/objctx header wrong:\n%s", cha)
 	}
-	if _, err := prog.StaticAudit(ctx, WithAuditMode("0cfa")); err == nil {
+	if _, err := prog.StaticAudit(ctx, WithMode("0cfa")); err == nil {
 		t.Error("unknown mode must error")
 	}
 	canceled, cancel := context.WithCancel(ctx)
@@ -534,11 +534,11 @@ class Extra {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := prog.Profile(ProfileOptions{Slots: 8})
+	full, err := prog.ProfileContext(context.Background(), WithSlots(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := prog.Profile(ProfileOptions{Slots: 8, StaticPrune: true})
+	pruned, err := prog.ProfileContext(context.Background(), WithSlots(8), WithPrune())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -100,67 +100,68 @@ func applyProfileOptions(opts []ProfileOption) ProfileOptions {
 	return o
 }
 
-// A SliceOption configures one aspect of a StaticSliceContext run.
-type SliceOption func(*SliceOptions)
+// DefaultAnalysisOptions returns the static-analysis configuration every
+// tool starts from: RTA call graph, no object context, Top = DefaultTop.
+// Callers mutate the copy (or, preferably, use StaticSliceContext /
+// StaticAudit with functional options).
+func DefaultAnalysisOptions() AnalysisOptions {
+	return AnalysisOptions{Top: DefaultTop}
+}
+
+// An AnalysisOption configures one aspect of a static-analysis run —
+// StaticSliceContext and StaticAudit share the same option vocabulary.
+// Options are applied in order over DefaultAnalysisOptions, so later
+// options win.
+type AnalysisOption func(*AnalysisOptions)
+
+// SliceOption is the static slice's name for the shared analysis option.
+type SliceOption = AnalysisOption
+
+// AuditOption is the static audit's name for the shared analysis option.
+type AuditOption = AnalysisOption
 
 // WithMode selects call-graph construction: "cha" or "rta" (default).
-func WithMode(mode string) SliceOption {
-	return func(o *SliceOptions) { o.Mode = mode }
+func WithMode(mode string) AnalysisOption {
+	return func(o *AnalysisOptions) { o.Mode = mode }
 }
 
 // WithObjCtx qualifies allocation sites by one level of receiver-object
 // context.
-func WithObjCtx() SliceOption {
-	return func(o *SliceOptions) { o.ObjCtx = true }
+func WithObjCtx() AnalysisOption {
+	return func(o *AnalysisOptions) { o.ObjCtx = true }
 }
 
-// WithTop bounds the candidate list in the rendered report.
-func WithTop(n int) SliceOption {
-	return func(o *SliceOptions) {
+// WithTop bounds the candidate list in the rendered report. Non-positive
+// values keep the default.
+func WithTop(n int) AnalysisOption {
+	return func(o *AnalysisOptions) {
 		if n > 0 {
 			o.Top = n
 		}
 	}
 }
 
-// applySliceOptions folds opts over the defaults.
-func applySliceOptions(opts []SliceOption) SliceOptions {
-	o := SliceOptions{Top: DefaultTop}
+// applyAnalysisOptions folds opts over the defaults.
+func applyAnalysisOptions(opts []AnalysisOption) AnalysisOptions {
+	o := DefaultAnalysisOptions()
 	for _, fn := range opts {
 		fn(&o)
 	}
 	return o
 }
 
-// An AuditOption configures one aspect of a StaticAudit run.
-type AuditOption func(*AuditOptions)
+// WithAuditMode selects call-graph construction for the audit.
+//
+// Deprecated: use WithMode — slice and audit share one option vocabulary.
+func WithAuditMode(mode string) AuditOption { return WithMode(mode) }
 
-// WithAuditMode selects call-graph construction for the audit: "cha" or
-// "rta" (default).
-func WithAuditMode(mode string) AuditOption {
-	return func(o *AuditOptions) { o.Mode = mode }
-}
-
-// WithAuditObjCtx qualifies allocation sites by one level of
-// receiver-object context during the audit.
-func WithAuditObjCtx() AuditOption {
-	return func(o *AuditOptions) { o.ObjCtx = true }
-}
+// WithAuditObjCtx qualifies allocation sites by receiver-object context
+// during the audit.
+//
+// Deprecated: use WithObjCtx — slice and audit share one option vocabulary.
+func WithAuditObjCtx() AuditOption { return WithObjCtx() }
 
 // WithAuditTop bounds the ranked site list in the audit report.
-func WithAuditTop(n int) AuditOption {
-	return func(o *AuditOptions) {
-		if n > 0 {
-			o.Top = n
-		}
-	}
-}
-
-// applyAuditOptions folds opts over the defaults.
-func applyAuditOptions(opts []AuditOption) AuditOptions {
-	o := AuditOptions{Top: DefaultTop}
-	for _, fn := range opts {
-		fn(&o)
-	}
-	return o
-}
+//
+// Deprecated: use WithTop — slice and audit share one option vocabulary.
+func WithAuditTop(n int) AuditOption { return WithTop(n) }

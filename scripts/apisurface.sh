@@ -1,7 +1,8 @@
 #!/bin/sh
-# Public-API pin: diffs the rendered documentation of the root lowutil
-# package against the checked-in golden, so accidental additions, removals,
-# or signature changes to the exported surface fail `make check`.
+# Public-API pin: diffs the rendered documentation of the public packages —
+# the root lowutil facade and the client SDK — against the checked-in
+# golden, so accidental additions, removals, or signature changes to the
+# exported surface fail `make check`.
 #
 # After an intended API change, regenerate with:
 #   sh scripts/apisurface.sh -update
@@ -12,7 +13,13 @@ GOLDEN=scripts/apisurface.golden
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-go doc -all . > "$TMP"
+{
+    go doc -all .
+    echo
+    echo "===== package lowutil/client ====="
+    echo
+    go doc -all ./client
+} > "$TMP"
 
 if [ "$1" = "-update" ]; then
     cp "$TMP" "$GOLDEN"

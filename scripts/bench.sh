@@ -1,24 +1,24 @@
 #!/bin/sh
 # Runs the key analysis benchmarks and writes BENCH_<idx>.json (one object
 # per benchmark: ns/op, B/op, allocs/op) so the perf trajectory is tracked
-# across PRs. The index is the first argument (default 8); OUT overrides the
+# across PRs. The index is the first argument (default 9); OUT overrides the
 # path entirely. Each benchmark runs COUNT times (default 3) and the minimum
 # ns/op is recorded — this VM's run-to-run noise is ±30-50%, and the minimum
 # is the estimate least polluted by scheduler and GC interference. Override
 # the selection or duration with:
 #
-#   sh scripts/bench.sh 8
+#   sh scripts/bench.sh 9
 #   BENCH='BenchmarkCostBenefitAnalysis' BENCHTIME=2s COUNT=5 sh scripts/bench.sh
 set -e
 cd "$(dirname "$0")/.."
 
-IDX="${1:-8}"
-BENCH="${BENCH:-BenchmarkCostBenefitAnalysis|BenchmarkDeadness|BenchmarkOverhead|BenchmarkInterpreterRaw|BenchmarkPointsTo|BenchmarkStaticSlice|BenchmarkInterprocPrune|BenchmarkCancelCheck|BenchmarkSSAConstruct|BenchmarkSCCP|BenchmarkLoopForest|BenchmarkVetEngines|BenchmarkNodeIntern|BenchmarkDispatch|BenchmarkEscapeAnalysis|BenchmarkStaticAudit|BenchmarkVetEscapeLints}"
+IDX="${1:-9}"
+BENCH="${BENCH:-BenchmarkCostBenefitAnalysis|BenchmarkDeadness|BenchmarkOverhead|BenchmarkInterpreterRaw|BenchmarkPointsTo|BenchmarkStaticSlice|BenchmarkInterprocPrune|BenchmarkCancelCheck|BenchmarkSSAConstruct|BenchmarkSCCP|BenchmarkLoopForest|BenchmarkVetEngines|BenchmarkNodeIntern|BenchmarkDispatch|BenchmarkEscapeAnalysis|BenchmarkStaticAudit|BenchmarkVetEscapeLints|BenchmarkJobThroughput}"
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_${IDX}.json}"
 
-go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem . \
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" -benchmem . ./internal/jobs \
     | tee /dev/stderr \
     | awk '
         /^Benchmark/ {
