@@ -76,6 +76,14 @@ func cmdBatch(args []string) error {
 		return err
 	}
 
+	// Key statuses by submission index: BatchStatus omits jobs whose
+	// records were GC'd, so the slice is not guaranteed to align
+	// positionally with the submitted batch.
+	byIndex := make(map[int]*client.JobStatus, len(final))
+	for _, st := range final {
+		byIndex[st.Index] = st
+	}
+
 	order := make([]int, len(all))
 	for i := range order {
 		order[i] = i
@@ -84,8 +92,13 @@ func cmdBatch(args []string) error {
 
 	failed := 0
 	for _, i := range order {
-		st := final[i]
+		st := byIndex[i]
 		fmt.Printf("== %s ==\n", all[i].Name)
+		if st == nil {
+			failed++
+			fmt.Printf("FAILED: job record evicted before its status was read\n\n")
+			continue
+		}
 		if st.State != "done" || st.Result == nil {
 			failed++
 			if st.Err != nil {

@@ -247,15 +247,23 @@ func New(cfg Config) *Queue {
 	return q
 }
 
-// start launches the pool and the shard dispatchers. Callers hold no lock
-// (New) or arrange exclusion themselves (Resume).
+// start launches the pool and the shard dispatchers. The draining flag,
+// run context, and pool are all replaced under one critical section so
+// concurrent Resume calls cannot both observe the drained state and
+// double-start the dispatchers.
 func (q *Queue) start() {
 	q.mu.Lock()
+	q.startLocked()
+	q.mu.Unlock()
+}
+
+// startLocked is start with q.mu held.
+func (q *Queue) startLocked() {
 	q.draining = false
 	q.runCtx, q.cancel = context.WithCancel(context.Background())
 	ctx := q.runCtx
-	q.mu.Unlock()
 	q.pool = par.NewPool(q.cfg.Workers)
+	pool := q.pool
 	for _, s := range q.shards {
 		q.wg.Add(1)
 		go func(s *shard) {
@@ -265,7 +273,7 @@ func (q *Queue) start() {
 				if j == nil {
 					return
 				}
-				if !q.pool.Do(func() { q.runJob(ctx, j) }) {
+				if !pool.Do(func() { q.runJob(ctx, j) }) {
 					// Pool closed under us: hand the job back untouched.
 					q.requeueDrained(j)
 					return
@@ -346,19 +354,23 @@ func (q *Queue) Submit(key string, reqs []Request) (string, []Submitted, error) 
 }
 
 // gcLocked evicts the oldest terminal job records over the MaxJobs bound
-// (queued and running jobs are never dropped). Called with q.mu held.
+// (queued and running jobs are never dropped), then drops batch records
+// whose jobs have all been evicted — otherwise q.batches grows one record
+// per idempotency key forever. Called with q.mu held.
 func (q *Queue) gcLocked() {
 	over := len(q.jobs) - q.cfg.MaxJobs
 	if over <= 0 {
 		return
 	}
 	kept := q.order[:0]
+	evicted := false
 	for _, j := range q.order {
 		j.mu.Lock()
 		terminal := j.state.Terminal()
 		j.mu.Unlock()
 		if over > 0 && terminal {
 			delete(q.jobs, j.id)
+			evicted = true
 			over--
 			continue
 		}
@@ -368,6 +380,21 @@ func (q *Queue) gcLocked() {
 		q.order[i] = nil
 	}
 	q.order = kept
+	if !evicted {
+		return
+	}
+	for key, rec := range q.batches {
+		live := false
+		for _, id := range rec.ids {
+			if _, ok := q.jobs[id]; ok {
+				live = true
+				break
+			}
+		}
+		if !live {
+			delete(q.batches, key)
+		}
+	}
 }
 
 // jobID derives the stable job identifier: content-addressed over the
@@ -524,22 +551,25 @@ func (q *Queue) Drain() {
 	}
 	q.draining = true
 	cancel := q.cancel
+	pool := q.pool
 	q.mu.Unlock()
 	cancel()
 	q.wg.Wait()
-	q.pool.Close()
+	pool.Close()
 }
 
 // Resume restarts a drained queue's workers; queued jobs (including those
-// re-queued by the drain) execute as if never interrupted.
+// re-queued by the drain) execute as if never interrupted. The drained
+// check and the restart happen atomically, so concurrent Resume calls
+// start exactly one set of dispatchers.
 func (q *Queue) Resume() {
 	q.mu.Lock()
 	if !q.draining {
 		q.mu.Unlock()
 		return
 	}
+	q.startLocked()
 	q.mu.Unlock()
-	q.start()
 	// Wake every shard in case jobs were pushed while no dispatcher ran.
 	for _, s := range q.shards {
 		select {
@@ -600,7 +630,7 @@ func (q *Queue) Events(ctx context.Context, id string, after int, fn func(Event)
 	if !ok {
 		return fmt.Errorf("jobs: unknown job %q", id)
 	}
-	next := after
+	next := max(after, 0) // a negative resume point means "from the start"
 	for {
 		j.mu.Lock()
 		events := j.events[min(next, len(j.events)):]

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -447,5 +448,96 @@ func TestBatchStatus(t *testing.T) {
 	}
 	if _, ok := q.BatchStatus("bmissing"); ok {
 		t.Error("unknown batch reported ok")
+	}
+}
+
+// TestEventsNegativeAfter: a negative resume point replays from the start
+// instead of panicking with a slice bounds error (it reaches Events
+// unvalidated from GET /v2/jobs/{id}/events?after=-1).
+func TestEventsNegativeAfter(t *testing.T) {
+	q := New(Config{Executor: &countExec{}})
+	defer q.Drain()
+	_, subs, _ := q.Submit("k", []Request{{Spec: testSpec("n")}})
+	waitTerminal(t, q, subs[0].ID)
+
+	var full, neg int
+	if err := q.Events(context.Background(), subs[0].ID, 0, func(Event) error { full++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Events(context.Background(), subs[0].ID, -7, func(Event) error { neg++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if full == 0 || neg != full {
+		t.Errorf("negative after replayed %d events, want %d (full trail)", neg, full)
+	}
+}
+
+// TestBatchRecordGC: batch records whose jobs have all been evicted by the
+// MaxJobs bound are dropped too — one record per idempotency key must not
+// accumulate forever.
+func TestBatchRecordGC(t *testing.T) {
+	q := New(Config{Executor: &countExec{}, MaxJobs: 4})
+	defer q.Drain()
+
+	const batches = 24
+	for i := 0; i < batches; i++ {
+		_, subs, err := q.Submit(fmt.Sprintf("key-%d", i), []Request{{Spec: testSpec(fmt.Sprintf("src-%d", i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, q, subs[0].ID)
+	}
+	// One more submission triggers GC over the fully-terminal backlog.
+	_, subs, err := q.Submit("key-final", []Request{{Spec: testSpec("final")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, q, subs[0].ID)
+
+	q.mu.Lock()
+	nBatches, nJobs := len(q.batches), len(q.jobs)
+	q.mu.Unlock()
+	if nJobs > 4+1 {
+		t.Errorf("job records = %d, want ≤ MaxJobs+1", nJobs)
+	}
+	// Every retained batch must reference at least one live job record.
+	if nBatches > nJobs {
+		t.Errorf("batch records = %d outlive the %d job records; q.batches is leaking", nBatches, nJobs)
+	}
+}
+
+// TestConcurrentResume: racing Resume calls after a drain must start
+// exactly one dispatcher set — a double start leaks the first run context
+// and its workers, deadlocking the next Drain.
+func TestConcurrentResume(t *testing.T) {
+	q := New(Config{Executor: &countExec{}, Shards: 2})
+	q.Drain()
+
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			q.Resume()
+		}()
+	}
+	close(gate)
+	wg.Wait()
+
+	_, subs, err := q.Submit("after-resume", []Request{{Spec: testSpec("r")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, q, subs[0].ID); st.State != StateDone {
+		t.Fatalf("state=%s err=%+v", st.State, st.Err)
+	}
+	done := make(chan struct{})
+	go func() { q.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain hung: leaked dispatchers from a double Resume")
 	}
 }

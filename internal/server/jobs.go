@@ -265,7 +265,16 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.met.request("events")
 	id := r.PathValue("id")
-	after, _ := strconv.Atoi(r.URL.Query().Get("after"))
+	after := 0
+	if raw := r.URL.Query().Get("after"); raw != "" {
+		var err error
+		if after, err = strconv.Atoi(raw); err != nil || after < 0 {
+			s.met.failure("events")
+			status := s.writeErr(w, &badRequestError{fmt.Errorf("after must be a non-negative integer, got %q", raw)})
+			s.logLine(r, "events", status, start)
+			return
+		}
+	}
 	if _, ok := s.jobs.Status(id); !ok {
 		s.met.failure("events")
 		status := s.writeErr(w, fmt.Errorf("%w: %s", errUnknownJob, id))

@@ -203,6 +203,17 @@ func TestJobEventsNDJSON(t *testing.T) {
 	if eb := decodeEnvelope(t, body); eb.Code != "not_found" {
 		t.Errorf("envelope = %+v", eb)
 	}
+
+	// A negative or malformed ?after= is a 400, not a handler panic.
+	for _, q := range []string{"?after=-1", "?after=bogus"} {
+		code, body := getBody(t, ts.URL+"/v2/jobs/"+id+"/events"+q)
+		if code != http.StatusBadRequest {
+			t.Fatalf("events %s: status %d, want 400", q, code)
+		}
+		if eb := decodeEnvelope(t, body); eb.Code != "bad_request" {
+			t.Errorf("events %s envelope = %+v, want bad_request", q, eb)
+		}
+	}
 }
 
 // TestJobsFaultRecovery injects a transient failure on every first attempt
