@@ -1,7 +1,13 @@
-.PHONY: check build test bench benchdiff lint apisurface audit-goldens
+.PHONY: check build test bench benchdiff lint apisurface audit-goldens fuzz
 
 check:
 	sh scripts/check.sh
+
+# fuzz runs the long differential-fuzzing soak (default: seed 1, 5 minutes,
+# JSON summary in FUZZ_SUMMARY.json). Override with SEED=, MINUTES=, OUT=.
+# `make check` runs a small fixed-seed batch of the same invariants.
+fuzz:
+	sh scripts/fuzz.sh
 
 build:
 	go build ./...

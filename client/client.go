@@ -187,11 +187,23 @@ func retryAfterOf(err error) time.Duration {
 	return 0
 }
 
-// parseRetryAfter reads a Retry-After header (delay-seconds form).
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds, or an HTTP-date (the delay to it on the local clock;
+// dates already past, like garbage, mean "no requested delay").
 func parseRetryAfter(h http.Header) time.Duration {
-	if v := h.Get("Retry-After"); v != "" {
-		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs > 0 {
 			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
 		}
 	}
 	return 0

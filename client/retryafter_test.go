@@ -1,0 +1,41 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter covers both RFC 9110 forms of the header. The
+// HTTP-date rows use wide windows around the local clock so a slow test
+// runner cannot flake them.
+func TestParseRetryAfter(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		h.Set("Retry-After", v)
+		return h
+	}
+	if d := parseRetryAfter(http.Header{}); d != 0 {
+		t.Errorf("absent header → %v, want 0", d)
+	}
+	if d := parseRetryAfter(mk("2")); d != 2*time.Second {
+		t.Errorf("delay-seconds 2 → %v, want 2s", d)
+	}
+	if d := parseRetryAfter(mk("0")); d != 0 {
+		t.Errorf("delay-seconds 0 → %v, want 0", d)
+	}
+	if d := parseRetryAfter(mk("-3")); d != 0 {
+		t.Errorf("negative delay-seconds → %v, want 0", d)
+	}
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(mk(future)); d <= 60*time.Second || d > 90*time.Second {
+		t.Errorf("HTTP-date 90s ahead → %v, want within (60s, 90s]", d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(mk(past)); d != 0 {
+		t.Errorf("HTTP-date in the past → %v, want 0", d)
+	}
+	if d := parseRetryAfter(mk("next tuesday")); d != 0 {
+		t.Errorf("unparseable header → %v, want 0", d)
+	}
+}

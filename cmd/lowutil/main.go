@@ -16,6 +16,13 @@
 //	lowutil overwrites [flags] prog.mj  heap locations rewritten before read
 //	lowutil serve      [flags]          HTTP profiling service (v2 JSON API)
 //	lowutil batch      [flags]          all 18 workloads through the job queue
+//	lowutil fuzz       [flags]          randomized differential invariant fuzzing
+//
+// Flags (fuzz): -seed root seed (default 1), -n programs (default 100),
+// -minutes time box, -max-failures early stop, -json machine-readable
+// summary, -v progress to stderr. Each generated program runs through every
+// engine pair; failures are shrunk to a minimal reproducer. With -n alone
+// the output is byte-identical across runs with the same seed.
 //
 // Flags (profile): -s context slots (default 16), -top findings (default
 // 10), -n reference-tree height (default 4), -traditional for the
@@ -96,6 +103,8 @@ func main() {
 		err = cmdServe(args)
 	case "batch":
 		err = cmdBatch(args)
+	case "fuzz":
+		err = cmdFuzz(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -111,7 +120,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lowutil <command> [flags] <file.mj>
-commands: run, disasm, vet, ssa, slice, audit, profile, nullcheck, copies, predicates, overwrites, caches, serve, batch`)
+commands: run, disasm, vet, ssa, slice, audit, profile, nullcheck, copies, predicates, overwrites, caches, serve, batch, fuzz`)
 }
 
 // startProfiles starts a CPU profile and/or arranges a post-run heap profile

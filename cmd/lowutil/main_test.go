@@ -124,6 +124,49 @@ func TestCmdVetAndSSA(t *testing.T) {
 	}
 }
 
+// TestCmdFuzz drives the fuzz subcommand over a small deterministic batch:
+// two identical-seed runs must produce byte-identical stdout with zero
+// violations, and the JSON mode must carry the same counters.
+func TestCmdFuzz(t *testing.T) {
+	capture := func(args []string) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		cmdErr := cmdFuzz(args)
+		w.Close()
+		os.Stdout = old
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmdErr != nil {
+			t.Fatalf("fuzz %v: %v", args, cmdErr)
+		}
+		return string(out)
+	}
+	a := capture([]string{"-seed", "1", "-n", "3"})
+	if !strings.Contains(a, "programs=3") || !strings.Contains(a, "failures=0") {
+		t.Errorf("unexpected summary:\n%s", a)
+	}
+	if a != capture([]string{"-seed", "1", "-n", "3"}) {
+		t.Error("fuzz output is not byte-identical across same-seed runs")
+	}
+	j := capture([]string{"-seed", "1", "-n", "2", "-json"})
+	if !strings.Contains(j, `"programs": 2`) || !strings.Contains(j, `"failures": null`) {
+		t.Errorf("unexpected JSON summary:\n%s", j)
+	}
+	if err := cmdFuzz([]string{"-n", "0"}); err == nil {
+		t.Error("want error for -n 0 without -minutes")
+	}
+	if err := cmdFuzz([]string{"extra.mj"}); err == nil {
+		t.Error("want error for positional argument")
+	}
+}
+
 func TestCmdErrors(t *testing.T) {
 	if err := cmdRun([]string{"testdata/missing.mj"}); err == nil {
 		t.Error("want missing-file error")

@@ -317,8 +317,19 @@ func AnalyzeContext(ctx context.Context, an *interproc.Analysis) (*Result, error
 	// Fold the per-field aggregates into the per-site audit record. The
 	// score sums per-field cost/(1+benefit) ratios over the stored fields
 	// (mirroring the dynamic ranking, which only scores stored locations),
-	// with consumed fields contributing an exact 0.
-	for k, fa := range fields {
+	// with consumed fields contributing an exact 0. The fold runs in sorted
+	// key order: float addition is not associative, so folding in map order
+	// would let tied sites' scores drift by an ULP between runs and flip
+	// the ranking.
+	keys := make([][2]int, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+	})
+	for _, k := range keys {
+		fa := fields[k]
 		si := &r.Sites[r.bySite[k[0]]]
 		si.Stores += fa.stores
 		si.Loads += fa.loads

@@ -167,6 +167,65 @@ func TestReportDeterministic(t *testing.T) {
 	}
 }
 
+// tiedSitesSrc is a fuzzer-found reproducer (fuzzgen seed
+// 13643710871071028921, shrunk): the two Scratch sites in W1.m1 tie on
+// every printed ranking key, so their order is decided by comparing scores
+// that sum several per-field float ratios. Folding those ratios in map
+// order let the sums drift by an ULP between analyses and swap the tied
+// sites; the fold must run in sorted field order.
+const tiedSitesSrc = `
+class Scratch {
+  int sa;
+  int sb;
+  int sc;
+}
+class W1 {
+  int acc1;
+  int m1(int p0, int p1) {
+    int v3 = (this.acc1 & p1);
+    if ((771 < v3)) {
+      Scratch s9 = new Scratch();
+      s9.sa = v3;
+      s9.sb = (0 - p0);
+      s9.sc = (s9.sa + 47);
+      W1 r10 = new W1();
+    }
+    if (((v3 & this.acc1) == (0 - -95))) {
+      p0 = p1;
+    } else {
+      Scratch s13 = new Scratch();
+      s13.sa = 209;
+      s13.sb = p0;
+      s13.sc = (s13.sa + 19);
+    }
+    return p1;
+  }
+}
+class Main {
+  static void main() {
+    int total = 0;
+    Scratch s20 = new Scratch();
+    s20.sa = (-58 / 2);
+    W1 r21 = new W1();
+    int v22 = r21.m1(r21.acc1, hash(r21.acc1));
+    int v25 = r21.m1(hash(v22), v22);
+    print(total);
+  }
+}
+`
+
+// TestReportStableAcrossReanalysis pins byte-stability of the audit report
+// across independent analyses of the same program, which a
+// render-twice-on-one-Result check cannot see.
+func TestReportStableAcrossReanalysis(t *testing.T) {
+	first := analyzeSrc(t, tiedSitesSrc).Report(10)
+	for i := 0; i < 30; i++ {
+		if got := analyzeSrc(t, tiedSitesSrc).Report(10); got != first {
+			t.Fatalf("analysis %d diverged:\n--- first ---\n%s\n--- now ---\n%s", i, first, got)
+		}
+	}
+}
+
 const observeSrc = `
 class Box { int v; }
 class Main {

@@ -1,0 +1,122 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Options configures one fuzzing run.
+type Options struct {
+	// Seed is the root seed; program i runs with deriveSeed(Seed, i).
+	Seed uint64
+	// N is the number of programs to generate. 0 means unbounded (a
+	// Deadline must then stop the run).
+	N int
+	// Deadline, when positive, stops the run after the elapsed wall time.
+	Deadline time.Duration
+	// MaxFailures stops the run early once this many failing programs have
+	// been recorded (default 3): each failure costs a shrink, and a broken
+	// invariant tends to fail on most seeds.
+	MaxFailures int
+	// Config overrides the generator shape; zero value means DefaultConfig.
+	Config Config
+	// Log, when non-nil, receives one progress line per 50 programs.
+	Log io.Writer
+}
+
+// Failure is one generated program that violated an invariant, plus its
+// shrunk reproducer.
+type Failure struct {
+	Seed      uint64 `json:"seed"`
+	Index     int    `json:"index"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+	Source    string `json:"source"`
+	Shrunk    string `json:"shrunk"`
+}
+
+// Summary is the result of a fuzzing run. With a fixed Seed and N (and no
+// Deadline) every field is a pure function of the inputs, so two runs
+// produce byte-identical summaries.
+type Summary struct {
+	Seed       uint64           `json:"seed"`
+	Programs   int              `json:"programs"`
+	Checks     int64            `json:"checks"`
+	Invariants []string         `json:"invariants"`
+	PerCheck   map[string]int64 `json:"per_check"`
+	Failures   []Failure        `json:"failures"`
+}
+
+// Run generates programs from the seed and checks every invariant on each,
+// shrinking any failure to a minimal reproducer.
+func Run(opts Options) Summary {
+	cfg := opts.Config
+	if cfg == (Config{}) {
+		cfg = DefaultConfig
+	}
+	maxFail := opts.MaxFailures
+	if maxFail <= 0 {
+		maxFail = 3
+	}
+	sum := Summary{
+		Seed:       opts.Seed,
+		Invariants: invariantNames(),
+		PerCheck:   make(map[string]int64),
+	}
+	for _, name := range sum.Invariants {
+		sum.PerCheck[name] = 0
+	}
+	var stop time.Time
+	if opts.Deadline > 0 {
+		stop = time.Now().Add(opts.Deadline)
+	}
+	for i := 0; ; i++ {
+		if opts.N > 0 && i >= opts.N {
+			break
+		}
+		if opts.N <= 0 && opts.Deadline <= 0 {
+			break
+		}
+		if !stop.IsZero() && !time.Now().Before(stop) {
+			break
+		}
+		if len(sum.Failures) >= maxFail {
+			break
+		}
+		seed := deriveSeed(opts.Seed, i)
+		prog := Generate(seed, cfg)
+		src := prog.Render()
+		c := newCaseRun(src)
+		for _, inv := range Invariants() {
+			err := inv.check(c)
+			sum.Checks++
+			sum.PerCheck[inv.Name]++
+			if err == nil || err == errSkip {
+				continue
+			}
+			class := FailureClass(err.Error())
+			shrunk := Shrink(prog, func(cand string) bool {
+				failed, detail := CheckNamed(inv.Name, cand)
+				return failed && FailureClass(detail) == class
+			})
+			sum.Failures = append(sum.Failures, Failure{
+				Seed:      seed,
+				Index:     i,
+				Invariant: inv.Name,
+				Detail:    err.Error(),
+				Source:    src,
+				Shrunk:    shrunk.Render(),
+			})
+			// One failure per program: later invariants on a broken
+			// program usually fail for the same root cause.
+			break
+		}
+		sum.Programs++
+		if opts.Log != nil && (i+1)%50 == 0 {
+			fmt.Fprintf(opts.Log, "fuzz: %d programs, %d checks, %d failures\n",
+				sum.Programs, sum.Checks, len(sum.Failures))
+		}
+	}
+	return sum
+}

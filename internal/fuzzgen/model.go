@@ -1,0 +1,170 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The program model is deliberately shallow: classes, fields, and methods
+// are structured, while statements carry rendered MJ text for flat
+// statements and child statement lists for blocks. Expressions never need
+// to be revisited after generation, so they are rendered eagerly; the
+// shrinker works at statement, method, and class granularity.
+
+// Stmt is one statement of a generated method body. Exactly one of Flat or
+// Head is set: Flat is a complete statement line ("x = x + 1;"), Head is a
+// block opener ("for (int i = 0; i < 4; i = i + 1)") whose Body (and, for
+// if/else, Else) renders inside braces.
+type Stmt struct {
+	Flat string
+	Head string
+	Body []*Stmt
+	Else []*Stmt
+	// Pinned statements are skipped by the shrinker: final returns,
+	// while-loop decrements, and anything else whose deletion can only
+	// produce a non-compiling or non-terminating program.
+	Pinned bool
+}
+
+// Field is a field or parameter declaration.
+type Field struct {
+	Name string
+	Type string // rendered MJ type: "int", "boolean", "Base", "int[]", ...
+}
+
+// Method is one generated method.
+type Method struct {
+	Name   string
+	Static bool
+	Ret    string // "void", "int", "boolean", or a class name
+	Params []Field
+	Body   []*Stmt
+	// Index is the method's position in the global generation order; a
+	// body may only call methods with a strictly larger index (recursion
+	// excepted, which decrements an explicit depth parameter), so the
+	// call graph terminates by construction.
+	Index int
+}
+
+// Class is one generated class.
+type Class struct {
+	Name    string
+	Extends string
+	Fields  []Field
+	Methods []*Method
+}
+
+// Prog is a whole generated program plus the seed that produced it.
+type Prog struct {
+	Seed    uint64
+	Classes []*Class
+}
+
+// Render emits the program as MJ source.
+func (p *Prog) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// fuzzgen seed=%d\n", p.Seed)
+	for _, c := range p.Classes {
+		if c == nil {
+			continue
+		}
+		b.WriteString("class ")
+		b.WriteString(c.Name)
+		if c.Extends != "" {
+			b.WriteString(" extends ")
+			b.WriteString(c.Extends)
+		}
+		b.WriteString(" {\n")
+		for _, f := range c.Fields {
+			fmt.Fprintf(&b, "  %s %s;\n", f.Type, f.Name)
+		}
+		for _, m := range c.Methods {
+			if m == nil {
+				continue
+			}
+			b.WriteString("  ")
+			if m.Static {
+				b.WriteString("static ")
+			}
+			fmt.Fprintf(&b, "%s %s(", m.Ret, m.Name)
+			for i, p := range m.Params {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s %s", p.Type, p.Name)
+			}
+			b.WriteString(") {\n")
+			renderStmts(&b, m.Body, 2)
+			b.WriteString("  }\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func renderStmts(b *strings.Builder, stmts []*Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		if s == nil {
+			continue
+		}
+		if s.Head == "" {
+			b.WriteString(indent)
+			b.WriteString(s.Flat)
+			b.WriteByte('\n')
+			continue
+		}
+		b.WriteString(indent)
+		b.WriteString(s.Head)
+		b.WriteString(" {\n")
+		renderStmts(b, s.Body, depth+1)
+		b.WriteString(indent)
+		b.WriteString("}")
+		if s.Else != nil {
+			b.WriteString(" else {\n")
+			renderStmts(b, s.Else, depth+1)
+			b.WriteString(indent)
+			b.WriteString("}")
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// clone deep-copies the program so the shrinker can mutate candidates
+// freely.
+func (p *Prog) clone() *Prog {
+	q := &Prog{Seed: p.Seed, Classes: make([]*Class, len(p.Classes))}
+	for i, c := range p.Classes {
+		if c == nil {
+			continue
+		}
+		cc := &Class{Name: c.Name, Extends: c.Extends, Fields: append([]Field(nil), c.Fields...)}
+		cc.Methods = make([]*Method, len(c.Methods))
+		for j, m := range c.Methods {
+			if m == nil {
+				continue
+			}
+			mm := &Method{Name: m.Name, Static: m.Static, Ret: m.Ret,
+				Params: append([]Field(nil), m.Params...), Index: m.Index}
+			mm.Body = cloneStmts(m.Body)
+			cc.Methods[j] = mm
+		}
+		q.Classes[i] = cc
+	}
+	return q
+}
+
+func cloneStmts(stmts []*Stmt) []*Stmt {
+	out := make([]*Stmt, len(stmts))
+	for i, s := range stmts {
+		if s == nil {
+			continue
+		}
+		out[i] = &Stmt{Flat: s.Flat, Head: s.Head, Pinned: s.Pinned,
+			Body: cloneStmts(s.Body)}
+		if s.Else != nil {
+			out[i].Else = cloneStmts(s.Else)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package fuzzgen
+
+// Greedy test-case shrinking. Given a failing program and a predicate that
+// reports whether a candidate source still reproduces the same failure, the
+// shrinker repeatedly tries deletions at class, method, and statement
+// granularity — plus unwrapping a block into its body and dropping else
+// branches — keeping each mutation only when the predicate still holds.
+// Pinned statements (final returns, while-loop decrements, recursion
+// guards) are never deleted: removing them can only produce non-compiling
+// or non-terminating candidates, which the predicate would reject anyway,
+// so skipping them saves predicate evaluations. Passes repeat until a full
+// pass makes no progress or the evaluation budget runs out.
+
+// shrinkBudget caps predicate evaluations per shrink so a pathological
+// failure cannot stall the fuzz run; deletions-only mutation means the
+// result is never larger than the input regardless of where the budget
+// lands.
+const shrinkBudget = 2000
+
+type shrinker struct {
+	fails   func(src string) bool
+	budget  int
+	changed bool
+}
+
+// Shrink minimizes p while fails(render) stays true. The input program is
+// not modified; the returned program is the smallest reproducer found.
+func Shrink(p *Prog, fails func(src string) bool) *Prog {
+	s := &shrinker{fails: fails, budget: shrinkBudget}
+	cur := p.clone()
+	for {
+		s.changed = false
+		s.pass(cur)
+		if !s.changed || s.budget <= 0 {
+			return cur
+		}
+	}
+}
+
+// try re-renders cur after an in-place mutation and reports whether the
+// mutation should be kept.
+func (s *shrinker) try(cur *Prog) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	if s.fails(cur.Render()) {
+		s.changed = true
+		return true
+	}
+	return false
+}
+
+func (s *shrinker) pass(cur *Prog) {
+	// Whole classes first: one successful deletion removes the most text.
+	for i := len(cur.Classes) - 1; i >= 0; i-- {
+		if s.budget <= 0 {
+			return
+		}
+		c := cur.Classes[i]
+		if c == nil || c.Name == "Main" {
+			continue
+		}
+		cur.Classes[i] = nil
+		if !s.try(cur) {
+			cur.Classes[i] = c
+		}
+	}
+	// Then methods, keeping each class's entry point structure intact.
+	for _, c := range cur.Classes {
+		if c == nil {
+			continue
+		}
+		for j := len(c.Methods) - 1; j >= 0; j-- {
+			if s.budget <= 0 {
+				return
+			}
+			m := c.Methods[j]
+			if m == nil || (c.Name == "Main" && m.Name == "main") {
+				continue
+			}
+			c.Methods[j] = nil
+			if !s.try(cur) {
+				c.Methods[j] = m
+			}
+		}
+	}
+	// Then fields that no surviving code may reference anymore.
+	for _, c := range cur.Classes {
+		if c == nil {
+			continue
+		}
+		for j := len(c.Fields) - 1; j >= 0; j-- {
+			if s.budget <= 0 {
+				return
+			}
+			saved := c.Fields
+			c.Fields = append(append([]Field(nil), saved[:j]...), saved[j+1:]...)
+			if !s.try(cur) {
+				c.Fields = saved
+			}
+		}
+	}
+	// Finally statements, innermost lists included.
+	for _, c := range cur.Classes {
+		if c == nil {
+			continue
+		}
+		for _, m := range c.Methods {
+			if m == nil {
+				continue
+			}
+			s.shrinkStmts(cur, &m.Body)
+		}
+	}
+}
+
+// shrinkStmts tries, for each statement in the list: deleting it, replacing
+// a block with its own body (unwrap), and dropping an else branch; then
+// recurses into surviving blocks.
+func (s *shrinker) shrinkStmts(cur *Prog, list *[]*Stmt) {
+	for i := len(*list) - 1; i >= 0; i-- {
+		if s.budget <= 0 {
+			return
+		}
+		st := (*list)[i]
+		if st == nil {
+			continue
+		}
+		if !st.Pinned {
+			saved := *list
+			*list = spliceStmts(saved, i, nil)
+			if s.try(cur) {
+				continue
+			}
+			*list = saved
+			if st.Head != "" && len(st.Body) > 0 && allUnpinnedCompatible(st) {
+				*list = spliceStmts(saved, i, st.Body)
+				if s.try(cur) {
+					continue
+				}
+				*list = saved
+			}
+		}
+		if st.Head != "" {
+			if st.Else != nil {
+				savedElse := st.Else
+				st.Else = nil
+				if !s.try(cur) {
+					st.Else = savedElse
+				}
+			}
+			s.shrinkStmts(cur, &st.Body)
+			if st.Else != nil {
+				s.shrinkStmts(cur, &st.Else)
+			}
+		}
+	}
+}
+
+// spliceStmts returns list with element i replaced by repl (deleted when
+// repl is nil), without mutating the input slice.
+func spliceStmts(list []*Stmt, i int, repl []*Stmt) []*Stmt {
+	out := make([]*Stmt, 0, len(list)+len(repl))
+	out = append(out, list[:i]...)
+	out = append(out, repl...)
+	out = append(out, list[i+1:]...)
+	return out
+}
+
+// allUnpinnedCompatible reports whether a block can be unwrapped into its
+// parent: a body that contains a pinned statement (a while-counter
+// decrement, say) belongs to its loop and must not leak into the enclosing
+// scope.
+func allUnpinnedCompatible(st *Stmt) bool {
+	for _, b := range st.Body {
+		if b != nil && b.Pinned {
+			return false
+		}
+	}
+	return true
+}

@@ -676,6 +676,13 @@ func (p *Profiler) AfterCall(in *ir.Instr, caller *interp.Frame, hasValue bool) 
 		return
 	}
 	n := p.node(in, fs)
+	if p.fast {
+		// node() bypasses eventRefSlow, so an intern miss here can grow the
+		// dense frequency table without the usual re-fetch; a stale tFreq
+		// would silently drop every fast-path increment until the next slow
+		// path runs.
+		p.tFreq = p.G.DenseTables().Freq
+	}
 	p.G.AddDepRef(n, ret)
 	fs.nodes[in.Dst] = n.Ref()
 }

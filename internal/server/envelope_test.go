@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lowutil"
+	"lowutil/internal/jobs"
+)
+
+// postRaw sends an arbitrary (possibly malformed) body, unlike postJSON
+// which can only produce valid JSON.
+func postRaw(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, out
+}
+
+// TestErrorEnvelopeTable drives every externally reachable error path of
+// the /v2 surface through one table: malformed JSON, unknown resources,
+// invalid query parameters. Each row asserts the transport status plus the
+// unified envelope's code and retryable bit, so a handler that starts
+// leaking raw errors (or flipping retryability) fails here by name.
+func TestErrorEnvelopeTable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name      string
+		method    string
+		path      string
+		body      string // POST body; empty means GET
+		status    int
+		code      string
+		retryable bool
+	}{
+		{"bad json to jobs", "POST", "/v2/jobs", `{nope`, http.StatusBadRequest, "bad_request", false},
+		{"truncated json to run", "POST", "/v2/run", `{"session":`, http.StatusBadRequest, "bad_request", false},
+		{"empty batch", "POST", "/v2/jobs", `{"jobs":[]}`, http.StatusBadRequest, "bad_request", false},
+		{"unknown job id", "GET", "/v2/jobs/jnope", "", http.StatusNotFound, "not_found", false},
+		{"unknown batch events", "GET", "/v2/jobs/jnope/events", "", http.StatusNotFound, "not_found", false},
+		{"negative after", "GET", "/v2/jobs/jnope/events?after=-1", "", http.StatusBadRequest, "bad_request", false},
+		{"non-integer after", "GET", "/v2/jobs/jnope/events?after=abc", "", http.StatusBadRequest, "bad_request", false},
+		{"unknown session run", "POST", "/v2/run", `{"session":"deadbeef"}`, http.StatusNotFound, "not_found", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var (
+				code int
+				hdr  http.Header
+				body []byte
+			)
+			switch tc.method {
+			case "GET":
+				resp, err := http.Get(ts.URL + tc.path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				code, hdr = resp.StatusCode, resp.Header
+				body, _ = io.ReadAll(resp.Body)
+			default:
+				code, hdr, body = postRaw(t, ts.URL+tc.path, tc.body)
+			}
+			if code != tc.status {
+				t.Fatalf("status = %d, want %d; body %s", code, tc.status, body)
+			}
+			if ct := hdr.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			eb := decodeEnvelope(t, body)
+			if eb.Code != tc.code || eb.Retryable != tc.retryable {
+				t.Errorf("envelope = %+v, want code %q retryable %v", eb, tc.code, tc.retryable)
+			}
+		})
+	}
+}
+
+// TestQueueFullRetryAfter pins the one error that carries a header
+// contract: a 429 from a full job queue must tell clients when to come
+// back, since the SDK's backoff honors Retry-After before its own jitter.
+func TestQueueFullRetryAfter(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	_, ts := newTestServer(t, Config{
+		Jobs: jobs.Config{
+			Depth: 1, Shards: 1, Workers: 1,
+			FaultHook: func(string, int) error { <-block; return errors.New("never") },
+		},
+	})
+	postJSON(t, ts.URL+"/v2/jobs", jobsRequest{Key: "fill", Jobs: []jobSubmission{{Spec: jobs.Spec{Kind: jobs.KindRun, Source: workSrc}}}})
+	code, hdr, body := postRaw(t, ts.URL+"/v2/jobs",
+		`{"key":"over","jobs":[{"kind":"compile","source":"class Main { static void main() { print(1); } }"}]}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-depth submit: %d: %s", code, body)
+	}
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want %q", got, "1")
+	}
+	if eb := decodeEnvelope(t, body); eb.Code != "at_capacity" || !eb.Retryable {
+		t.Errorf("429 envelope = %+v, want retryable at_capacity", eb)
+	}
+}
+
+// TestRunDeadlineEnvelope covers 504 on the synchronous execution path: a
+// spin program under a tight per-request timeout surfaces as a deadline
+// envelope, not a hung connection or a generic 500.
+func TestRunDeadlineEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: 100 * time.Millisecond})
+	id := compileSession(t, ts.URL, spinSrc)
+	code, body := postJSON(t, ts.URL+"/v2/run", vetRequest{Session: id})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline run status = %d, want 504; body %s", code, body)
+	}
+	if eb := decodeEnvelope(t, body); eb.Code != "deadline" || eb.Retryable {
+		t.Errorf("504 envelope = %+v, want non-retryable deadline", eb)
+	}
+}
+
+// TestClassifyErrTable unit-tests the single error→(status, body) mapping,
+// including branches unobservable over a real HTTP round trip: 499 is
+// written after the client is gone, and 409 requires racing an identical
+// batch key. Wrapping matters — the production errors arrive decorated
+// with fmt.Errorf context, so every row wraps its sentinel.
+func TestClassifyErrTable(t *testing.T) {
+	_, compileErr := lowutil.Compile("class Main { static void main() { print(x); } }")
+	var ce *lowutil.CompileError
+	if !errors.As(compileErr, &ce) || ce.Line <= 0 {
+		t.Fatalf("fixture compile error = %v, want positioned *CompileError", compileErr)
+	}
+
+	cases := []struct {
+		name      string
+		err       error
+		status    int
+		code      string
+		retryable bool
+	}{
+		{"compile error", compileErr, http.StatusUnprocessableEntity, "compile_error", false},
+		{"bad request", &badRequestError{errors.New("nope")}, http.StatusBadRequest, "bad_request", false},
+		{"unknown session", fmt.Errorf("%w: s1", errUnknownSession), http.StatusNotFound, "not_found", false},
+		{"unknown job", fmt.Errorf("%w: j1", errUnknownJob), http.StatusNotFound, "not_found", false},
+		{"queue full", fmt.Errorf("submit: %w", jobs.ErrQueueFull), http.StatusTooManyRequests, "at_capacity", true},
+		{"batch conflict", fmt.Errorf("submit: %w", jobs.ErrBatchConflict), http.StatusConflict, "conflict", false},
+		{"deadline", fmt.Errorf("run: %w", context.DeadlineExceeded), http.StatusGatewayTimeout, "deadline", false},
+		{"context canceled", fmt.Errorf("run: %w", context.Canceled), 499, "canceled", true},
+		{"facade canceled", fmt.Errorf("%w: vm stopped", lowutil.ErrCanceled), 499, "canceled", true},
+		// A run aborted by disconnect wraps cancellation inside a
+		// ProfileError; the disconnect must win over the 500.
+		{"canceled inside profile error",
+			&lowutil.ProfileError{Stage: "run", Err: fmt.Errorf("%w: vm stopped", lowutil.ErrCanceled)},
+			499, "canceled", true},
+		{"profile error", &lowutil.ProfileError{Stage: "prune", Err: errors.New("boom")}, http.StatusInternalServerError, "profile_error", false},
+		{"generic", errors.New("disk on fire"), http.StatusInternalServerError, "internal", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := classifyErr(tc.err)
+			if status != tc.status || body.Code != tc.code || body.Retryable != tc.retryable {
+				t.Errorf("classifyErr(%v) = (%d, %+v), want (%d, code %q, retryable %v)",
+					tc.err, status, body, tc.status, tc.code, tc.retryable)
+			}
+			if body.Message == "" {
+				t.Error("empty envelope message")
+			}
+		})
+	}
+
+	// The positioned fields survive into the envelope.
+	if _, body := classifyErr(compileErr); body.Line != ce.Line || body.Col != ce.Col {
+		t.Errorf("compile envelope position = %d:%d, want %d:%d", body.Line, body.Col, ce.Line, ce.Col)
+	}
+	if _, body := classifyErr(&lowutil.ProfileError{Stage: "analysis", Err: errors.New("x")}); body.Stage != "analysis" {
+		t.Errorf("profile envelope stage = %q, want analysis", body.Stage)
+	}
+}

@@ -18,7 +18,9 @@ go vet ./...
 # it in the full-suite output.
 go vet -copylocks -unreachable ./...
 go build ./...
-go test ./...
+# -shuffle=on randomizes test execution order within each package, keeping
+# hidden inter-test state dependencies from taking root.
+go test -shuffle=on ./...
 # Public-API pin: the exported surface of the root package must match the
 # checked-in golden (scripts/apisurface.golden).
 sh scripts/apisurface.sh
@@ -42,9 +44,13 @@ go test ./internal/evalharness -run TestPrecisionRankCorrelation -short -count=1
 go test ./internal/escape -run TestEscapeSoundnessAllWorkloads -count=1
 go test ./internal/escape -run TestAuditGoldenWorkloads -count=1
 go test ./internal/evalharness -run TestAuditPrecisionRankCorrelation -short -count=1
+# Short differential-fuzzing budget: a small deterministic batch through
+# every engine-pair invariant (see DESIGN.md §14). The long soak is
+# `make fuzz`.
+go run ./cmd/lowutil fuzz -seed 1 -n 50
 # The analysis pipeline is parallel; -short keeps the race pass fast by
 # trimming the all-workload differential sweeps to a subset.
-go test -race -short ./...
+go test -race -short -shuffle=on ./...
 # Smoke-run the dispatch benchmark (one iteration): catches handler-table
 # regressions that only manifest under the benchmark harness, without
 # paying for a timed run.

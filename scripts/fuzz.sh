@@ -1,0 +1,25 @@
+#!/bin/sh
+# Long-soak differential fuzzing (see DESIGN.md §14): generates random MJ
+# programs and checks every engine-pair invariant on each, shrinking any
+# failure to a minimal reproducer. Seeded and time-boxed, so a soak is
+# reproducible: rerunning with the same SEED replays the same programs.
+#
+#   SEED=7 MINUTES=30 sh scripts/fuzz.sh
+#
+# SEED     root seed (default 1); program i derives its own seed from it.
+# MINUTES  wall-clock budget (default 5).
+# OUT      JSON summary path (default FUZZ_SUMMARY.json, gitignored).
+#
+# Exit status is non-zero if any invariant was violated; the summary's
+# failures[] then carries the original and shrunk reproducer sources.
+set -e
+cd "$(dirname "$0")/.."
+
+SEED="${SEED:-1}"
+MINUTES="${MINUTES:-5}"
+OUT="${OUT:-FUZZ_SUMMARY.json}"
+
+status=0
+go run ./cmd/lowutil fuzz -seed "$SEED" -n 0 -minutes "$MINUTES" -v -json >"$OUT" || status=$?
+echo "fuzz: summary written to $OUT"
+exit "$status"
